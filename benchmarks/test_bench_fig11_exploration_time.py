@@ -1,0 +1,64 @@
+"""Fig. 11 — exploration-time analysis of the design-space search strategies.
+
+Compares the exhaustive search, the restricted "heuristic" enumeration and the
+three-phase design generation methodology (Algorithm 1) in terms of the number
+of design evaluations and the estimated wall-clock exploration time (using the
+paper's ~300 s per evaluation), plus the actually measured evaluation count of
+Algorithm 1 on this reproduction.
+"""
+
+from conftest import format_row, write_report
+
+from repro.core import (
+    DesignEvaluator,
+    QualityConstraint,
+    analyze_stage_resilience,
+    compare_strategies,
+    full_design_space,
+    generate_design,
+    preprocessing_design_space,
+)
+
+
+def _run_algorithm1(record):
+    evaluator = DesignEvaluator([record])
+    profiles = {
+        "low_pass": analyze_stage_resilience("lpf", evaluator, list(range(0, 17, 2))),
+        "high_pass": analyze_stage_resilience("hpf", evaluator, list(range(0, 17, 2))),
+    }
+    evaluator.reset_counter()
+    result = generate_design(profiles, evaluator, QualityConstraint("psnr", 22.0),
+                             stages=("low_pass", "high_pass"))
+    return result, evaluator.evaluation_count
+
+
+def test_fig11_exploration_time(benchmark, bench_record):
+    result, measured_evaluations = benchmark.pedantic(
+        _run_algorithm1, args=(bench_record,), rounds=1, iterations=1
+    )
+    comparison = compare_strategies(
+        heuristic_space=preprocessing_design_space(),
+        algorithm1_evaluations=result.trace.evaluated_designs,
+        exhaustive_space=full_design_space(),
+    )
+
+    widths = (12, 16, 16, 16)
+    lines = ["Fig. 11: exploration-time analysis (at ~300 s per design evaluation)",
+             format_row(("strategy", "evaluations", "duration[hrs]", "duration[yrs]"),
+                        widths)]
+    for name in ("exhaustive", "heuristic", "algorithm1"):
+        estimate = comparison[name]
+        lines.append(format_row((
+            name, estimate.evaluations, estimate.duration_hours,
+            estimate.duration_years), widths))
+    speedup = comparison["algorithm1"].speedup_over(comparison["heuristic"])
+    lines.append("")
+    lines.append(f"Algorithm 1 vs heuristic speedup: {speedup:.1f}x "
+                 "(paper: ~23.6x on average)")
+    lines.append(f"measured evaluator calls during Algorithm 1: {measured_evaluations}")
+    write_report("fig11_exploration_time", lines)
+
+    assert comparison["exhaustive"].duration_years > 1.0
+    assert comparison["heuristic"].evaluations == 81
+    assert comparison["algorithm1"].evaluations < comparison["heuristic"].evaluations
+    assert speedup > 2.0

@@ -1,0 +1,13 @@
+"""Pytest root conftest.
+
+Ensures the ``src`` layout is importable even when the package has not been
+pip-installed (e.g. fully offline environments), and registers the shared
+test fixtures.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,73 @@
+"""XBioSiP reproduction: approximate bio-signal processing at the edge.
+
+Python reproduction of "XBioSiP: A Methodology for Approximate Bio-Signal
+Processing at the Edge" (Prabakaran, Rehman, Shafique — DAC 2019).
+
+Subpackages
+-----------
+``repro.arithmetic``
+    Bit-accurate approximate adders/multipliers (elementary cells, ripple-
+    carry adders, recursive multipliers, vectorised engine).
+``repro.energy``
+    65 nm synthesis cost database and compositional hardware cost model,
+    sensor-node and software-platform energy models.
+``repro.dsp``
+    The Pan-Tompkins QRS detection pipeline on a configurable (approximate)
+    fixed-point datapath, plus a floating-point reference.
+``repro.signals``
+    Synthetic NSRDB-like ECG records with ground-truth annotations.
+``repro.metrics``
+    PSNR, 1-D SSIM, peak-detection accuracy and arithmetic error statistics.
+``repro.core``
+    The XBioSiP methodology: two-stage quality evaluation, error-resilience
+    analysis, the three-phase design generation methodology and baselines.
+
+Quickstart
+----------
+>>> from repro import XBioSiP, load_record
+>>> records = [load_record("16265", duration_s=10.0)]
+>>> result = XBioSiP(records).run()
+>>> result.final_design.summary()  # doctest: +SKIP
+"""
+
+from .core import (
+    DesignEvaluation,
+    DesignEvaluator,
+    DesignPoint,
+    PAPER_CONFIGURATIONS,
+    QualityConstraint,
+    StageApproximation,
+    XBioSiP,
+    XBioSiPResult,
+    analyze_stage_resilience,
+    generate_design,
+    paper_configuration,
+    pareto_front,
+)
+from .arithmetic import ArithmeticBackend, accurate_backend
+from .dsp import PanTompkinsPipeline, PanTompkinsResult
+from .signals import load_record, load_records
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArithmeticBackend",
+    "accurate_backend",
+    "DesignEvaluation",
+    "DesignEvaluator",
+    "DesignPoint",
+    "PAPER_CONFIGURATIONS",
+    "PanTompkinsPipeline",
+    "PanTompkinsResult",
+    "QualityConstraint",
+    "StageApproximation",
+    "XBioSiP",
+    "XBioSiPResult",
+    "analyze_stage_resilience",
+    "generate_design",
+    "load_record",
+    "load_records",
+    "paper_configuration",
+    "pareto_front",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Pareto-front extraction over (quality, energy reduction) trade-offs.
+
+Section 6.2 of the paper extracts Pareto-optimal designs from the evaluated
+design spaces (two for the signal-processing stages, four for the
+pre-processing stages).  A design is Pareto-optimal when no other design is at
+least as good in both objectives and strictly better in one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from .quality import DesignEvaluation
+
+__all__ = ["pareto_front", "dominates"]
+
+Objective = Callable[[DesignEvaluation], float]
+
+
+def _default_objectives() -> Sequence[Objective]:
+    return (
+        lambda evaluation: evaluation.peak_accuracy,
+        lambda evaluation: evaluation.energy_reduction,
+    )
+
+
+def dominates(
+    a: DesignEvaluation,
+    b: DesignEvaluation,
+    objectives: Sequence[Objective] = (),
+) -> bool:
+    """True when design ``a`` dominates design ``b`` (all >=, at least one >)."""
+    objectives = objectives or _default_objectives()
+    at_least_as_good = all(obj(a) >= obj(b) for obj in objectives)
+    strictly_better = any(obj(a) > obj(b) for obj in objectives)
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    evaluations: Iterable[DesignEvaluation],
+    objectives: Sequence[Objective] = (),
+) -> List[DesignEvaluation]:
+    """Extract the Pareto-optimal subset of a collection of evaluations.
+
+    Both objectives are maximised by default: peak-detection accuracy and
+    energy reduction.  Pass custom ``objectives`` callables to trade off other
+    metrics (e.g. PSNR instead of accuracy for the pre-processing section).
+    """
+    evaluations = list(evaluations)
+    objectives = objectives or _default_objectives()
+    front: List[DesignEvaluation] = []
+    for candidate in evaluations:
+        if any(
+            dominates(other, candidate, objectives)
+            for other in evaluations
+            if other is not candidate
+        ):
+            continue
+        # Skip exact duplicates already on the front.
+        if any(
+            all(obj(candidate) == obj(existing) for obj in objectives)
+            for existing in front
+        ):
+            continue
+        front.append(candidate)
+    front.sort(key=lambda evaluation: evaluation.energy_reduction)
+    return front

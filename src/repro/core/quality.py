@@ -1,0 +1,214 @@
+"""Two-stage quality evaluation of approximate designs.
+
+XBioSiP evaluates output quality at two points:
+
+1. **Pre-processing quality** — the high-pass-filtered signal produced by the
+   approximate datapath is compared against the accurate one with PSNR and/or
+   SSIM (the paper uses PSNR >= 15 dB in its Table 2 exploration).  This is the
+   signal a physician would inspect, so its fidelity is constrained
+   separately.
+2. **Application quality** — the final output of the algorithm, i.e. the
+   detected QRS peaks, scored as peak-detection accuracy against the ground
+   truth annotations.
+
+:class:`DesignEvaluator` runs a :class:`DesignPoint` through the pipeline on
+one or more records, caches the accurate reference runs, and produces a
+:class:`DesignEvaluation` carrying both quality stages plus the hardware
+energy reduction — a single object that the design-generation methodology,
+the benchmarks and the examples all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..dsp.detection import PeakDetectionConfig
+from ..dsp.pan_tompkins import PanTompkinsPipeline, PanTompkinsResult
+from ..dsp.stages import total_group_delay_samples
+from ..metrics.peaks import match_peaks
+from ..metrics.psnr import psnr
+from ..metrics.ssim import ssim
+from ..signals.records import ECGRecord
+from .configurations import DesignPoint
+
+__all__ = [
+    "QualityConstraint",
+    "DesignEvaluation",
+    "DesignEvaluator",
+    "PREPROCESSING_PSNR_CONSTRAINT",
+    "FULL_ACCURACY_CONSTRAINT",
+]
+
+
+@dataclass(frozen=True)
+class QualityConstraint:
+    """A user-defined quality constraint on one metric.
+
+    Parameters
+    ----------
+    metric:
+        ``"psnr"``, ``"ssim"`` or ``"peak_accuracy"``.
+    threshold:
+        Minimum acceptable value of the metric.
+    """
+
+    metric: str
+    threshold: float
+
+    _VALID = ("psnr", "ssim", "peak_accuracy")
+
+    def __post_init__(self) -> None:
+        if self.metric not in self._VALID:
+            raise ValueError(
+                f"metric must be one of {self._VALID}, got {self.metric!r}"
+            )
+
+    def satisfied_by(self, evaluation: "DesignEvaluation") -> bool:
+        """True when the evaluation meets this constraint."""
+        return evaluation.metric(self.metric) >= self.threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.metric} >= {self.threshold}"
+
+
+#: The paper's pre-processing constraint (Table 2): PSNR of at least 15 dB.
+PREPROCESSING_PSNR_CONSTRAINT = QualityConstraint("psnr", 15.0)
+
+#: The paper's headline application constraint: no peaks lost.
+FULL_ACCURACY_CONSTRAINT = QualityConstraint("peak_accuracy", 1.0)
+
+
+@dataclass
+class DesignEvaluation:
+    """Quality and energy figures of one design point (averaged over records)."""
+
+    design: DesignPoint
+    psnr_db: float
+    ssim_value: float
+    peak_accuracy: float
+    detected_peaks: int
+    true_peaks: int
+    energy_reduction: float
+    per_record_accuracy: Dict[str, float]
+
+    def metric(self, name: str) -> float:
+        """Value of a named quality metric (see :class:`QualityConstraint`)."""
+        if name == "psnr":
+            return self.psnr_db
+        if name == "ssim":
+            return self.ssim_value
+        if name == "peak_accuracy":
+            return self.peak_accuracy
+        raise KeyError(f"unknown metric {name!r}")
+
+    @property
+    def detects_all_peaks(self) -> bool:
+        """True when no ground-truth peak is missed on any record."""
+        return self.peak_accuracy >= 1.0
+
+    def summary(self) -> str:
+        """One-line report used by examples and benchmark output."""
+        return (
+            f"{self.design.summary()} | PSNR {self.psnr_db:.1f} dB, "
+            f"SSIM {self.ssim_value:.3f}, peaks {self.detected_peaks}/{self.true_peaks} "
+            f"({self.peak_accuracy * 100:.1f}%), energy x{self.energy_reduction:.1f}"
+        )
+
+
+class DesignEvaluator:
+    """Evaluates design points on a fixed set of records.
+
+    The accurate pipeline is run once per record and cached; every design
+    evaluation then costs one approximate pipeline run per record.  The
+    evaluator also counts how many designs it has been asked to evaluate,
+    which is the statistic behind the paper's exploration-time comparison
+    (Fig. 11).
+    """
+
+    def __init__(
+        self,
+        records: Union[ECGRecord, Sequence[ECGRecord]],
+        detection_config: Optional[PeakDetectionConfig] = None,
+        peak_tolerance_samples: int = 40,
+    ) -> None:
+        if isinstance(records, ECGRecord):
+            records = [records]
+        if not records:
+            raise ValueError("DesignEvaluator needs at least one record")
+        self.records: List[ECGRecord] = list(records)
+        self.detection_config = detection_config
+        self.peak_tolerance_samples = peak_tolerance_samples
+        self._delay = total_group_delay_samples()
+        self._accurate: Dict[str, PanTompkinsResult] = {}
+        self._evaluation_count = 0
+        self._cache: Dict[DesignPoint, DesignEvaluation] = {}
+        for record in self.records:
+            pipeline = PanTompkinsPipeline(detection_config=detection_config)
+            self._accurate[record.name] = pipeline.process(record.samples)
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def evaluation_count(self) -> int:
+        """Number of (non-cached) design evaluations performed so far."""
+        return self._evaluation_count
+
+    def reset_counter(self) -> None:
+        """Reset the evaluation counter (the cache is kept)."""
+        self._evaluation_count = 0
+
+    def accurate_result(self, record: ECGRecord) -> PanTompkinsResult:
+        """The cached accurate pipeline result for one of the records."""
+        return self._accurate[record.name]
+
+    # ---------------------------------------------------------- evaluation
+    def evaluate(self, design: DesignPoint, use_cache: bool = True) -> DesignEvaluation:
+        """Run ``design`` on every record and aggregate the quality metrics."""
+        if use_cache and design in self._cache:
+            return self._cache[design]
+
+        self._evaluation_count += 1
+        pipeline = PanTompkinsPipeline(
+            backends=design.backends(), detection_config=self.detection_config
+        )
+
+        psnr_values: List[float] = []
+        ssim_values: List[float] = []
+        accuracies: Dict[str, float] = {}
+        detected_total = 0
+        true_total = 0
+
+        for record in self.records:
+            approx = pipeline.process(record.samples)
+            reference = self._accurate[record.name]
+            psnr_values.append(psnr(reference.preprocessed, approx.preprocessed))
+            ssim_values.append(ssim(reference.preprocessed, approx.preprocessed))
+            matching = match_peaks(
+                record.r_peak_indices,
+                approx.peak_indices,
+                tolerance_samples=self.peak_tolerance_samples,
+                expected_delay_samples=self._delay,
+            )
+            accuracies[record.name] = matching.detection_accuracy
+            detected_total += approx.peak_count
+            true_total += record.beat_count
+
+        evaluation = DesignEvaluation(
+            design=design,
+            psnr_db=float(np.mean([min(p, 120.0) for p in psnr_values])),
+            ssim_value=float(np.mean(ssim_values)),
+            peak_accuracy=float(np.mean(list(accuracies.values()))),
+            detected_peaks=detected_total,
+            true_peaks=true_total,
+            energy_reduction=design.energy_reduction(),
+            per_record_accuracy=accuracies,
+        )
+        if use_cache:
+            self._cache[design] = evaluation
+        return evaluation
+
+    def evaluate_many(self, designs: Iterable[DesignPoint]) -> List[DesignEvaluation]:
+        """Evaluate several designs (kept simple: sequential)."""
+        return [self.evaluate(design) for design in designs]

@@ -1,0 +1,69 @@
+"""Fixed-point DSP substrate: the Pan-Tompkins pipeline on approximate hardware.
+
+Contains the five processing stages (low-pass, high-pass, differentiator,
+squarer, moving-window integrator), the adaptive-threshold decision stage,
+the fixed-point helpers, and a floating-point reference implementation used
+for validation.
+"""
+
+from .detection import PeakDetectionConfig, PeakDetectionResult, detect_peaks
+from .fir import fir_filter, moving_window_integral, run_stage, squarer
+from .fixed_point import (
+    coefficient_headroom_bits,
+    dequantize,
+    quantize_coefficients,
+    quantize_value,
+    rescale,
+    saturate,
+)
+from .pan_tompkins import PanTompkinsPipeline, PanTompkinsResult
+from .reference import ReferenceResult, reference_pipeline, reference_stage_output
+from .stages import (
+    DEFAULT_SAMPLE_RATE_HZ,
+    MWI_WINDOW_SAMPLES,
+    STAGE_DERIVATIVE,
+    STAGE_HPF,
+    STAGE_LPF,
+    STAGE_MWI,
+    STAGE_NAMES,
+    STAGE_SQUARER,
+    StageDefinition,
+    pan_tompkins_stages,
+    stage_by_name,
+    stage_operator_summary,
+    total_group_delay_samples,
+)
+
+__all__ = [
+    "PeakDetectionConfig",
+    "PeakDetectionResult",
+    "detect_peaks",
+    "fir_filter",
+    "moving_window_integral",
+    "run_stage",
+    "squarer",
+    "coefficient_headroom_bits",
+    "dequantize",
+    "quantize_coefficients",
+    "quantize_value",
+    "rescale",
+    "saturate",
+    "PanTompkinsPipeline",
+    "PanTompkinsResult",
+    "ReferenceResult",
+    "reference_pipeline",
+    "reference_stage_output",
+    "DEFAULT_SAMPLE_RATE_HZ",
+    "MWI_WINDOW_SAMPLES",
+    "STAGE_DERIVATIVE",
+    "STAGE_HPF",
+    "STAGE_LPF",
+    "STAGE_MWI",
+    "STAGE_NAMES",
+    "STAGE_SQUARER",
+    "StageDefinition",
+    "pan_tompkins_stages",
+    "stage_by_name",
+    "stage_operator_summary",
+    "total_group_delay_samples",
+]

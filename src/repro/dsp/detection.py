@@ -1,0 +1,225 @@
+"""Adaptive-threshold QRS peak detection (decision stage of Pan-Tompkins).
+
+The decision logic follows the original 1985 algorithm: candidate peaks found
+on the moving-window-integrated (MWI) signal are classified as signal or noise
+by a pair of adaptive thresholds (running estimates ``SPKI`` / ``NPKI``), with
+a refractory period, a search-back pass using the lower threshold when a beat
+appears to have been missed, and a fiducial-alignment check against the
+band-passed (HPF-stage output) signal.
+
+The alignment check is the mechanism behind the paper's Fig. 13: an
+approximation-induced spurious peak on the MWI signal that does not line up
+with a peak on the filtered signal (within ``alignment_tolerance`` samples)
+is discarded, which can also drop the genuine beat — the "heartbeat missed"
+case the paper analyses for design B10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["PeakDetectionConfig", "PeakDetectionResult", "detect_peaks"]
+
+
+@dataclass(frozen=True)
+class PeakDetectionConfig:
+    """Tunable parameters of the decision stage.
+
+    All durations are expressed in samples at the pipeline's sampling rate
+    (200 Hz by default, so the 40-sample refractory period is 200 ms).
+    """
+
+    refractory_samples: int = 40
+    search_window_samples: int = 30
+    alignment_tolerance_samples: int = 45
+    min_alignment_amplitude_ratio: float = 0.3
+    signal_weight: float = 0.125
+    noise_weight: float = 0.125
+    threshold_fraction: float = 0.25
+    searchback_rr_factor: float = 1.66
+    min_peak_value: float = 1.0
+
+
+@dataclass
+class PeakDetectionResult:
+    """Outcome of the decision stage.
+
+    Attributes
+    ----------
+    peak_indices:
+        Sample indices (on the MWI time axis) of accepted QRS peaks.
+    rejected_indices:
+        Candidate peaks classified as noise by the thresholds.
+    misaligned_indices:
+        Candidates that crossed the threshold but failed the HPF/MWI
+        alignment check and were therefore discarded (Fig. 13 mechanism).
+    threshold_trace:
+        Value of the adaptive signal threshold each time a candidate was
+        evaluated (useful for plots and debugging).
+    """
+
+    peak_indices: List[int] = field(default_factory=list)
+    rejected_indices: List[int] = field(default_factory=list)
+    misaligned_indices: List[int] = field(default_factory=list)
+    threshold_trace: List[float] = field(default_factory=list)
+
+    @property
+    def peak_count(self) -> int:
+        """Number of accepted QRS peaks."""
+        return len(self.peak_indices)
+
+    def peak_array(self) -> np.ndarray:
+        """Accepted peak indices as a NumPy array."""
+        return np.asarray(self.peak_indices, dtype=np.int64)
+
+
+def _candidate_peaks(signal: np.ndarray, min_distance: int, min_value: float) -> np.ndarray:
+    """Local maxima separated by at least ``min_distance`` samples."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size < 3:
+        return np.zeros(0, dtype=np.int64)
+    rising = signal[1:-1] >= signal[:-2]
+    falling = signal[1:-1] > signal[2:]
+    candidates = np.where(rising & falling & (signal[1:-1] >= min_value))[0] + 1
+    if candidates.size == 0:
+        return candidates.astype(np.int64)
+    # Enforce the minimum distance greedily, keeping the larger peak.
+    kept: List[int] = []
+    for index in candidates:
+        if kept and index - kept[-1] < min_distance:
+            if signal[index] > signal[kept[-1]]:
+                kept[-1] = int(index)
+            continue
+        kept.append(int(index))
+    return np.asarray(kept, dtype=np.int64)
+
+
+def _aligned_with_filtered(
+    mwi_index: int,
+    filtered: Optional[np.ndarray],
+    window: int,
+    tolerance: int,
+    min_amplitude_ratio: float,
+) -> bool:
+    """Check that a prominent filtered-signal peak exists near the MWI peak.
+
+    The candidate is aligned when the band-passed signal, inside a window
+    around the MWI peak (shifted back by the integrator's group delay),
+    reaches at least ``min_amplitude_ratio`` of the band-passed signal's
+    global peak.  A spurious MWI bump caused by approximation noise between
+    beats fails this check because the filtered signal is quiet there.
+    """
+    if filtered is None:
+        return True
+    filtered = np.asarray(filtered, dtype=np.float64)
+    if filtered.size == 0:
+        return False
+    global_peak = float(np.max(np.abs(filtered)))
+    if global_peak <= 0.0:
+        return False
+    lo = max(0, mwi_index - window - tolerance)
+    hi = min(filtered.size, mwi_index + tolerance + 1)
+    if hi <= lo:
+        return False
+    local_peak = float(np.max(np.abs(filtered[lo:hi])))
+    return local_peak >= min_amplitude_ratio * global_peak
+
+
+def detect_peaks(
+    mwi_signal: np.ndarray,
+    filtered_signal: Optional[np.ndarray] = None,
+    config: Optional[PeakDetectionConfig] = None,
+) -> PeakDetectionResult:
+    """Run the adaptive-threshold decision stage.
+
+    Parameters
+    ----------
+    mwi_signal:
+        Output of the moving-window integrator.
+    filtered_signal:
+        Output of the band-pass (LPF+HPF) section, used for the fiducial
+        alignment check; pass ``None`` to disable the check.
+    config:
+        Decision-stage parameters (defaults follow the original algorithm).
+    """
+    config = config or PeakDetectionConfig()
+    mwi = np.asarray(mwi_signal, dtype=np.float64)
+    result = PeakDetectionResult()
+    if mwi.size == 0:
+        return result
+
+    candidates = _candidate_peaks(mwi, config.refractory_samples, config.min_peak_value)
+    if candidates.size == 0:
+        return result
+
+    # Initial threshold estimates from the first two seconds of signal.
+    learning = mwi[: min(mwi.size, 400)]
+    spki = float(np.max(learning)) * 0.25 if learning.size else 0.0
+    npki = float(np.mean(learning)) * 0.5 if learning.size else 0.0
+
+    accepted: List[int] = []
+    rr_intervals: List[int] = []
+
+    def _threshold() -> float:
+        return npki + config.threshold_fraction * (spki - npki)
+
+    def _accept(index: int, value: float) -> None:
+        nonlocal spki
+        spki = config.signal_weight * value + (1.0 - config.signal_weight) * spki
+        if accepted:
+            rr_intervals.append(index - accepted[-1])
+            if len(rr_intervals) > 8:
+                rr_intervals.pop(0)
+        accepted.append(index)
+
+    def _reject(index: int, value: float) -> None:
+        nonlocal npki
+        npki = config.noise_weight * value + (1.0 - config.noise_weight) * npki
+        result.rejected_indices.append(index)
+
+    for index in candidates:
+        value = float(mwi[index])
+        threshold = _threshold()
+        result.threshold_trace.append(threshold)
+
+        if accepted and index - accepted[-1] < config.refractory_samples:
+            continue
+
+        if value >= threshold:
+            if _aligned_with_filtered(
+                int(index),
+                filtered_signal,
+                config.search_window_samples,
+                config.alignment_tolerance_samples,
+                config.min_alignment_amplitude_ratio,
+            ):
+                _accept(int(index), value)
+            else:
+                result.misaligned_indices.append(int(index))
+                _reject(int(index), value)
+        else:
+            _reject(int(index), value)
+
+        # Search-back: if the gap since the last accepted beat exceeds the
+        # expected RR interval, re-examine rejected candidates with the lower
+        # threshold.
+        if accepted and rr_intervals:
+            average_rr = float(np.mean(rr_intervals))
+            if index - accepted[-1] > config.searchback_rr_factor * average_rr:
+                window_lo = accepted[-1] + config.refractory_samples
+                missed = [
+                    r
+                    for r in result.rejected_indices
+                    if window_lo <= r < index and mwi[r] >= 0.5 * _threshold()
+                ]
+                if missed:
+                    best = max(missed, key=lambda r: mwi[r])
+                    result.rejected_indices.remove(best)
+                    _accept(int(best), float(mwi[best]))
+                    accepted.sort()
+
+    result.peak_indices = sorted(accepted)
+    return result

@@ -1,0 +1,88 @@
+"""Fixed-point helpers for the hardware-style Pan-Tompkins pipeline.
+
+The paper's processing units operate on 16-bit ADC samples, 16-bit quantised
+filter coefficients, 16x16 multipliers and 32-bit accumulators.  This module
+provides the quantisation, scaling and saturation primitives that map the
+floating-point filter designs onto that integer datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..arithmetic.bitvector import signed_max, signed_min
+
+__all__ = [
+    "quantize_value",
+    "quantize_coefficients",
+    "dequantize",
+    "saturate",
+    "rescale",
+    "coefficient_headroom_bits",
+]
+
+
+def quantize_value(value: float, frac_bits: int, width: int = 16) -> int:
+    """Quantise a single real value to a signed fixed-point integer.
+
+    The value is scaled by ``2**frac_bits``, rounded to nearest and saturated
+    into the signed ``width``-bit range.
+
+    >>> quantize_value(0.5, 8)
+    128
+    """
+    scaled = int(round(value * (1 << frac_bits)))
+    return max(signed_min(width), min(signed_max(width), scaled))
+
+
+def quantize_coefficients(
+    coefficients: Sequence[float], frac_bits: int, width: int = 16
+) -> np.ndarray:
+    """Quantise a coefficient vector to signed ``width``-bit integers."""
+    return np.array(
+        [quantize_value(c, frac_bits, width) for c in coefficients], dtype=np.int64
+    )
+
+
+def dequantize(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Convert fixed-point integers back to floating point."""
+    return np.asarray(values, dtype=np.float64) / float(1 << frac_bits)
+
+
+def saturate(values: np.ndarray, width: int = 16) -> np.ndarray:
+    """Clamp integer values into the signed ``width``-bit range."""
+    return np.clip(np.asarray(values, dtype=np.int64), signed_min(width), signed_max(width))
+
+
+def rescale(values: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift used to drop fractional bits after accumulation.
+
+    A plain floor shift is used (no rounding), which is what the shift-only
+    hardware datapath of the paper implements.
+    """
+    if shift < 0:
+        raise ValueError(f"shift must be >= 0, got {shift}")
+    return np.asarray(values, dtype=np.int64) >> shift
+
+
+def coefficient_headroom_bits(
+    coefficients: Sequence[float], input_width: int = 16, acc_width: int = 32
+) -> int:
+    """Largest fractional-bit count that keeps the accumulator overflow-free.
+
+    For an FIR filter ``y = sum(c_i * x_i)`` with ``input_width``-bit samples
+    and an ``acc_width``-bit accumulator, the worst-case accumulator magnitude
+    is ``sum(|c_i|) * 2**(input_width - 1) * 2**frac_bits``; this returns the
+    largest ``frac_bits`` for which that bound still fits.
+    """
+    gain = float(np.sum(np.abs(np.asarray(coefficients, dtype=np.float64))))
+    if gain == 0.0:
+        return input_width - 1
+    frac_bits = 0
+    limit = float(1 << (acc_width - 1))
+    sample_peak = float(1 << (input_width - 1))
+    while gain * sample_peak * (1 << (frac_bits + 1)) < limit and frac_bits < input_width - 1:
+        frac_bits += 1
+    return frac_bits

@@ -1,0 +1,169 @@
+"""The full Pan-Tompkins QRS detection pipeline on a configurable datapath.
+
+:class:`PanTompkinsPipeline` chains the five processing stages defined in
+:mod:`repro.dsp.stages` and the decision stage of :mod:`repro.dsp.detection`.
+Each stage can be given its own :class:`~repro.arithmetic.library.
+ArithmeticBackend`, which is exactly how XBioSiP deploys different numbers of
+approximated LSBs per stage (the B1..B14 configurations of Fig. 12).
+
+The pipeline exposes every intermediate signal in its result object because
+the methodology evaluates quality at two points: the pre-processing output
+(high-pass-filtered signal, judged by PSNR/SSIM) and the final output (QRS
+peaks, judged by peak-detection accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..arithmetic.library import ArithmeticBackend, accurate_backend
+from .detection import PeakDetectionConfig, PeakDetectionResult, detect_peaks
+from .fir import run_stage
+from .stages import (
+    DEFAULT_SAMPLE_RATE_HZ,
+    STAGE_NAMES,
+    StageDefinition,
+    pan_tompkins_stages,
+    stage_by_name,
+)
+
+__all__ = ["PanTompkinsResult", "PanTompkinsPipeline"]
+
+BackendSpec = Union[ArithmeticBackend, Mapping[str, ArithmeticBackend], None]
+
+
+@dataclass
+class PanTompkinsResult:
+    """All intermediate and final outputs of one pipeline run.
+
+    Attributes
+    ----------
+    stage_outputs:
+        Mapping from stage name to its 16-bit integer output signal.
+    detection:
+        Result of the adaptive-threshold decision stage.
+    sample_rate_hz:
+        Sampling rate of the processed record.
+    """
+
+    stage_outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    detection: PeakDetectionResult = field(default_factory=PeakDetectionResult)
+    sample_rate_hz: int = DEFAULT_SAMPLE_RATE_HZ
+
+    @property
+    def preprocessed(self) -> np.ndarray:
+        """Output of the data pre-processing section (high-pass stage)."""
+        return self.stage_outputs["high_pass"]
+
+    @property
+    def integrated(self) -> np.ndarray:
+        """Output of the moving-window integrator."""
+        return self.stage_outputs["moving_window_integral"]
+
+    @property
+    def peak_indices(self) -> np.ndarray:
+        """Accepted QRS peak locations (MWI time axis)."""
+        return self.detection.peak_array()
+
+    @property
+    def peak_count(self) -> int:
+        """Number of QRS peaks detected."""
+        return self.detection.peak_count
+
+    def heart_rate_bpm(self) -> float:
+        """Mean heart rate estimated from the detected RR intervals."""
+        peaks = self.peak_indices
+        if peaks.size < 2:
+            return 0.0
+        rr_seconds = np.diff(peaks) / float(self.sample_rate_hz)
+        mean_rr = float(np.mean(rr_seconds))
+        return 60.0 / mean_rr if mean_rr > 0 else 0.0
+
+
+class PanTompkinsPipeline:
+    """Pan-Tompkins QRS detector with per-stage arithmetic configuration.
+
+    Parameters
+    ----------
+    backends:
+        Either a single backend applied to every stage, a mapping from stage
+        name (or alias, e.g. ``"lpf"``) to backend, or ``None`` for the fully
+        accurate datapath.  Stages without an entry default to accurate.
+    detection_config:
+        Parameters of the decision stage.
+    sample_rate_hz:
+        Sampling rate of the input records (the filter designs assume 200 Hz).
+
+    Examples
+    --------
+    >>> from repro.arithmetic import ArithmeticBackend
+    >>> pipeline = PanTompkinsPipeline(
+    ...     backends={"low_pass": ArithmeticBackend(approx_lsbs=8,
+    ...                                             adder_cell="ApproxAdd5",
+    ...                                             multiplier_cell="AppMultV1")})
+    """
+
+    def __init__(
+        self,
+        backends: BackendSpec = None,
+        detection_config: Optional[PeakDetectionConfig] = None,
+        sample_rate_hz: int = DEFAULT_SAMPLE_RATE_HZ,
+    ) -> None:
+        self.stages = pan_tompkins_stages()
+        self.detection_config = detection_config or PeakDetectionConfig()
+        self.sample_rate_hz = sample_rate_hz
+        self._backends = self._normalise_backends(backends)
+
+    # ------------------------------------------------------------ plumbing
+    @staticmethod
+    def _normalise_backends(backends: BackendSpec) -> Dict[str, ArithmeticBackend]:
+        resolved: Dict[str, ArithmeticBackend] = {
+            name: accurate_backend() for name in STAGE_NAMES
+        }
+        if backends is None:
+            return resolved
+        if isinstance(backends, ArithmeticBackend):
+            return {name: backends for name in STAGE_NAMES}
+        for key, backend in backends.items():
+            stage = stage_by_name(key)
+            resolved[stage.name] = backend
+        return resolved
+
+    def backend_for(self, stage: Union[str, StageDefinition]) -> ArithmeticBackend:
+        """Return the backend configured for a stage."""
+        name = stage.name if isinstance(stage, StageDefinition) else stage_by_name(stage).name
+        return self._backends[name]
+
+    def describe(self) -> Dict[str, str]:
+        """Per-stage human-readable approximation summary."""
+        return {name: self._backends[name].describe() for name in STAGE_NAMES}
+
+    # ----------------------------------------------------------------- run
+    def process(self, samples: np.ndarray) -> PanTompkinsResult:
+        """Run the full pipeline on a 16-bit integer ECG recording."""
+        samples = np.asarray(samples, dtype=np.int64)
+        if samples.ndim != 1:
+            raise ValueError("expected a one-dimensional sample array")
+        if samples.size == 0:
+            raise ValueError("cannot process an empty recording")
+
+        result = PanTompkinsResult(sample_rate_hz=self.sample_rate_hz)
+        current = samples
+        for stage in self.stages:
+            current = run_stage(current, stage, self._backends[stage.name])
+            result.stage_outputs[stage.name] = current
+
+        result.detection = detect_peaks(
+            result.integrated, result.preprocessed, self.detection_config
+        )
+        return result
+
+    def process_stage(
+        self, samples: np.ndarray, stage: Union[str, StageDefinition]
+    ) -> np.ndarray:
+        """Run a single stage in isolation (used by the resilience analysis)."""
+        definition = stage if isinstance(stage, StageDefinition) else stage_by_name(stage)
+        return run_stage(np.asarray(samples, dtype=np.int64), definition, self._backends[definition.name])

@@ -1,0 +1,134 @@
+"""65 nm synthesis cost database for the elementary arithmetic modules.
+
+The paper synthesises its elementary approximate adders and multipliers with
+the Synopsys Design Compiler flow for a 65 nm library and reports area, delay,
+power and energy per module (Table 1).  Those published numbers are the seed
+of this cost database; every higher-level hardware figure in the reproduction
+(stage energies, reduction factors, Fig. 2 / Fig. 8 / Fig. 12 energy curves)
+is a composition of these constants, exactly as in the paper.
+
+Units follow Table 1: area in um^2, delay in ns, power in uW, energy in fJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = [
+    "ModuleCost",
+    "ADDER_COSTS",
+    "MULTIPLIER_COSTS",
+    "adder_cost",
+    "multiplier_cost",
+    "adders_by_energy",
+    "multipliers_by_energy",
+    "TECHNOLOGY_NODE_NM",
+]
+
+#: Technology node of the synthesis flow the numbers were obtained with.
+TECHNOLOGY_NODE_NM = 65
+
+
+@dataclass(frozen=True)
+class ModuleCost:
+    """Area / delay / power / energy of one hardware module.
+
+    Instances are value objects: composition helpers return new instances and
+    never mutate.
+    """
+
+    area_um2: float
+    delay_ns: float
+    power_uw: float
+    energy_fj: float
+
+    def __add__(self, other: "ModuleCost") -> "ModuleCost":
+        """Parallel composition: areas, powers and energies add, delay is max."""
+        return ModuleCost(
+            area_um2=self.area_um2 + other.area_um2,
+            delay_ns=max(self.delay_ns, other.delay_ns),
+            power_uw=self.power_uw + other.power_uw,
+            energy_fj=self.energy_fj + other.energy_fj,
+        )
+
+    def chained(self, other: "ModuleCost") -> "ModuleCost":
+        """Series composition: like ``+`` but delays accumulate (critical path)."""
+        return ModuleCost(
+            area_um2=self.area_um2 + other.area_um2,
+            delay_ns=self.delay_ns + other.delay_ns,
+            power_uw=self.power_uw + other.power_uw,
+            energy_fj=self.energy_fj + other.energy_fj,
+        )
+
+    def scaled(self, count: float) -> "ModuleCost":
+        """Replicate the module ``count`` times (delay unchanged)."""
+        return ModuleCost(
+            area_um2=self.area_um2 * count,
+            delay_ns=self.delay_ns,
+            power_uw=self.power_uw * count,
+            energy_fj=self.energy_fj * count,
+        )
+
+    @staticmethod
+    def zero() -> "ModuleCost":
+        """The cost of nothing (identity element of composition)."""
+        return ModuleCost(0.0, 0.0, 0.0, 0.0)
+
+
+#: Table 1 (top half): elementary 1-bit full adders.
+ADDER_COSTS: Dict[str, ModuleCost] = {
+    "Accurate": ModuleCost(10.08, 0.18, 2.27, 0.409),
+    "ApproxAdd1": ModuleCost(8.28, 0.11, 1.34, 0.147),
+    "ApproxAdd2": ModuleCost(3.96, 0.08, 0.61, 0.049),
+    "ApproxAdd3": ModuleCost(3.60, 0.06, 0.41, 0.025),
+    "ApproxAdd4": ModuleCost(3.24, 0.06, 0.33, 0.020),
+    "ApproxAdd5": ModuleCost(0.00, 0.00, 0.00, 0.000),
+}
+
+#: Table 1 (bottom half): elementary 2x2 multipliers.
+MULTIPLIER_COSTS: Dict[str, ModuleCost] = {
+    "AccMult": ModuleCost(14.40, 0.16, 1.80, 0.288),
+    "AppMultV1": ModuleCost(11.52, 0.13, 1.67, 0.167),
+    "AppMultV2": ModuleCost(9.72, 0.06, 1.37, 0.137),
+}
+
+#: Aliases so that the accurate cells can be addressed consistently.
+_ADDER_ALIASES = {"accadd": "Accurate", "accurate": "Accurate"}
+_MULT_ALIASES = {"accurate": "AccMult", "accmult": "AccMult"}
+
+
+def adder_cost(name: str) -> ModuleCost:
+    """Synthesis cost of an elementary adder cell (case-insensitive lookup)."""
+    key = _ADDER_ALIASES.get(name.lower(), name)
+    for candidate, cost in ADDER_COSTS.items():
+        if candidate.lower() == key.lower():
+            return cost
+    raise KeyError(f"unknown adder cell {name!r}; known: {', '.join(ADDER_COSTS)}")
+
+
+def multiplier_cost(name: str) -> ModuleCost:
+    """Synthesis cost of an elementary multiplier cell (case-insensitive lookup)."""
+    key = _MULT_ALIASES.get(name.lower(), name)
+    for candidate, cost in MULTIPLIER_COSTS.items():
+        if candidate.lower() == key.lower():
+            return cost
+    raise KeyError(
+        f"unknown multiplier cell {name!r}; known: {', '.join(MULTIPLIER_COSTS)}"
+    )
+
+
+def adders_by_energy(descending: bool = True) -> List[str]:
+    """Adder cell names sorted by energy (paper sorts descending, Table 1)."""
+    return sorted(
+        ADDER_COSTS, key=lambda name: ADDER_COSTS[name].energy_fj, reverse=descending
+    )
+
+
+def multipliers_by_energy(descending: bool = True) -> List[str]:
+    """Multiplier cell names sorted by energy (paper sorts descending, Table 1)."""
+    return sorted(
+        MULTIPLIER_COSTS,
+        key=lambda name: MULTIPLIER_COSTS[name].energy_fj,
+        reverse=descending,
+    )

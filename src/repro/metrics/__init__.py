@@ -1,0 +1,22 @@
+"""Quality metrics: PSNR/SSIM for signals, accuracy for peaks, error stats for units."""
+
+from .arithmetic_error import ErrorStatistics, error_statistics, exhaustive_operand_pairs
+from .peaks import PeakMatchResult, count_accuracy, match_peaks, peak_detection_accuracy
+from .psnr import mse, psnr, rmse, snr
+from .ssim import ssim, ssim_map
+
+__all__ = [
+    "ErrorStatistics",
+    "error_statistics",
+    "exhaustive_operand_pairs",
+    "PeakMatchResult",
+    "count_accuracy",
+    "match_peaks",
+    "peak_detection_accuracy",
+    "mse",
+    "psnr",
+    "rmse",
+    "snr",
+    "ssim",
+    "ssim_map",
+]

@@ -1,0 +1,86 @@
+"""Standard approximate-computing error metrics for arithmetic units.
+
+These metrics (error rate, mean error distance, mean relative error distance,
+worst-case error) are the usual way the approximate-arithmetic literature —
+including the adder/multiplier papers XBioSiP builds on — characterises an
+approximate unit.  They are used by the unit tests and by the Table 1
+benchmark to sanity-check the behavioural models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["ErrorStatistics", "error_statistics", "exhaustive_operand_pairs"]
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Aggregate error statistics of an approximate operator."""
+
+    error_rate: float
+    mean_error_distance: float
+    mean_relative_error: float
+    worst_case_error: int
+    sample_count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ER={self.error_rate:.4f}, MED={self.mean_error_distance:.3f}, "
+            f"MRED={self.mean_relative_error:.5f}, WCE={self.worst_case_error}"
+        )
+
+
+def exhaustive_operand_pairs(width: int, signed: bool = False) -> Iterable[Tuple[int, int]]:
+    """Yield every operand pair of a ``width``-bit operator (use for small widths)."""
+    if signed:
+        lo, hi = -(1 << (width - 1)), 1 << (width - 1)
+    else:
+        lo, hi = 0, 1 << width
+    for a in range(lo, hi):
+        for b in range(lo, hi):
+            yield a, b
+
+
+def error_statistics(
+    approximate: Callable[[int, int], int],
+    exact: Callable[[int, int], int],
+    operand_pairs: Iterable[Tuple[int, int]],
+) -> ErrorStatistics:
+    """Compute error statistics of ``approximate`` against ``exact``.
+
+    Parameters
+    ----------
+    approximate / exact:
+        Two-operand integer functions (e.g. an approximate adder's ``add`` and
+        Python's ``+``).
+    operand_pairs:
+        The operand pairs to evaluate; either exhaustive (small widths) or a
+        random sample (large widths).
+    """
+    errors = []
+    references = []
+    for a, b in operand_pairs:
+        approx_value = approximate(a, b)
+        exact_value = exact(a, b)
+        errors.append(abs(approx_value - exact_value))
+        references.append(abs(exact_value))
+    if not errors:
+        raise ValueError("operand_pairs must yield at least one pair")
+
+    errors_arr = np.asarray(errors, dtype=np.float64)
+    refs_arr = np.asarray(references, dtype=np.float64)
+    nonzero = refs_arr > 0
+    relative = np.zeros_like(errors_arr)
+    relative[nonzero] = errors_arr[nonzero] / refs_arr[nonzero]
+
+    return ErrorStatistics(
+        error_rate=float(np.mean(errors_arr > 0)),
+        mean_error_distance=float(np.mean(errors_arr)),
+        mean_relative_error=float(np.mean(relative)),
+        worst_case_error=int(np.max(errors_arr)),
+        sample_count=int(errors_arr.size),
+    )

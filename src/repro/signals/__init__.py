@@ -1,0 +1,40 @@
+"""Synthetic ECG signal substrate (NSRDB substitute for offline evaluation)."""
+
+from .adc import ADCConfig, digitize, to_millivolts
+from .ecg_synthesis import BeatMorphology, SyntheticECG, WaveParameters, synthesize_ecg
+from .noise import (
+    NoiseProfile,
+    apply_noise,
+    baseline_wander,
+    muscle_noise,
+    powerline_interference,
+)
+from .records import (
+    ECGRecord,
+    NSRDB_RECORD_NAMES,
+    RecordSpec,
+    list_records,
+    load_record,
+    load_records,
+)
+
+__all__ = [
+    "ADCConfig",
+    "digitize",
+    "to_millivolts",
+    "BeatMorphology",
+    "SyntheticECG",
+    "WaveParameters",
+    "synthesize_ecg",
+    "NoiseProfile",
+    "apply_noise",
+    "baseline_wander",
+    "muscle_noise",
+    "powerline_interference",
+    "ECGRecord",
+    "NSRDB_RECORD_NAMES",
+    "RecordSpec",
+    "list_records",
+    "load_record",
+    "load_records",
+]

@@ -1,0 +1,120 @@
+"""Physiological and environmental noise models for synthetic ECG.
+
+The Pan-Tompkins pre-processing stages exist to remove exactly these
+artefacts:
+
+* **Baseline wander** — low-frequency (<0.8 Hz) drift caused by respiration
+  and electrode motion; removed by the high-pass stage.
+* **Powerline interference** — 50/60 Hz mains pickup; removed by the low-pass
+  stage (12 Hz cut-off).
+* **Muscle (EMG) noise** — wide-band noise from muscle activity; attenuated by
+  both filters and the moving-window integrator.
+
+Each model is a pure function of a NumPy random generator so that noisy
+records are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "NoiseProfile",
+    "baseline_wander",
+    "powerline_interference",
+    "muscle_noise",
+    "apply_noise",
+]
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Noise mix added on top of a clean synthetic ECG (amplitudes in mV)."""
+
+    baseline_amplitude_mv: float = 0.12
+    baseline_frequency_hz: float = 0.25
+    powerline_amplitude_mv: float = 0.04
+    powerline_frequency_hz: float = 50.0
+    muscle_rms_mv: float = 0.03
+
+    def quiet(self) -> "NoiseProfile":
+        """A low-noise variant (roughly a resting, well-prepared electrode)."""
+        return NoiseProfile(
+            baseline_amplitude_mv=self.baseline_amplitude_mv * 0.3,
+            baseline_frequency_hz=self.baseline_frequency_hz,
+            powerline_amplitude_mv=self.powerline_amplitude_mv * 0.3,
+            powerline_frequency_hz=self.powerline_frequency_hz,
+            muscle_rms_mv=self.muscle_rms_mv * 0.3,
+        )
+
+
+def baseline_wander(
+    n_samples: int,
+    sample_rate_hz: int,
+    amplitude_mv: float,
+    frequency_hz: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Respiration-like baseline drift: two slow sinusoids with random phase."""
+    rng = rng or np.random.default_rng()
+    t = np.arange(n_samples) / float(sample_rate_hz)
+    phase1, phase2 = rng.uniform(0, 2 * np.pi, size=2)
+    drift = amplitude_mv * np.sin(2 * np.pi * frequency_hz * t + phase1)
+    drift += 0.4 * amplitude_mv * np.sin(2 * np.pi * 0.45 * frequency_hz * t + phase2)
+    return drift
+
+
+def powerline_interference(
+    n_samples: int,
+    sample_rate_hz: int,
+    amplitude_mv: float,
+    frequency_hz: float = 50.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Mains interference: a sinusoid at the powerline frequency."""
+    rng = rng or np.random.default_rng()
+    t = np.arange(n_samples) / float(sample_rate_hz)
+    phase = rng.uniform(0, 2 * np.pi)
+    return amplitude_mv * np.sin(2 * np.pi * frequency_hz * t + phase)
+
+
+def muscle_noise(
+    n_samples: int,
+    rms_mv: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Wide-band EMG-like noise modelled as white Gaussian noise."""
+    rng = rng or np.random.default_rng()
+    return rms_mv * rng.standard_normal(n_samples)
+
+
+def apply_noise(
+    clean_mv: np.ndarray,
+    sample_rate_hz: int,
+    profile: Optional[NoiseProfile] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Add the full noise mix described by ``profile`` to a clean ECG."""
+    profile = profile or NoiseProfile()
+    rng = np.random.default_rng(seed)
+    clean_mv = np.asarray(clean_mv, dtype=np.float64)
+    noisy = clean_mv.copy()
+    noisy += baseline_wander(
+        clean_mv.size,
+        sample_rate_hz,
+        profile.baseline_amplitude_mv,
+        profile.baseline_frequency_hz,
+        rng,
+    )
+    noisy += powerline_interference(
+        clean_mv.size,
+        sample_rate_hz,
+        profile.powerline_amplitude_mv,
+        profile.powerline_frequency_hz,
+        rng,
+    )
+    noisy += muscle_noise(clean_mv.size, profile.muscle_rms_mv, rng)
+    return noisy

@@ -1,0 +1,199 @@
+"""Synthetic NSRDB-like record registry.
+
+The paper evaluates on recordings from the MIT-BIH Normal Sinus Rhythm
+Database (NSRDB) retrieved from PhysioNet.  That data cannot be downloaded in
+this offline environment, so this module provides a drop-in substitute: a
+registry of named records, each generated deterministically (seeded by the
+record name) from the synthesiser in :mod:`repro.signals.ecg_synthesis`, with
+per-record heart rate, morphology scale and noise level, plus ground-truth
+R-peak annotations.
+
+Record names mirror the real NSRDB record identifiers so that experiment
+configurations read like the paper's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .adc import ADCConfig, digitize
+from .ecg_synthesis import BeatMorphology, synthesize_ecg
+from .noise import NoiseProfile, apply_noise
+
+__all__ = [
+    "ECGRecord",
+    "RecordSpec",
+    "NSRDB_RECORD_NAMES",
+    "list_records",
+    "load_record",
+    "load_records",
+]
+
+#: Record identifiers of the real MIT-BIH Normal Sinus Rhythm Database.
+NSRDB_RECORD_NAMES: Tuple[str, ...] = (
+    "16265", "16272", "16273", "16420", "16483", "16539",
+    "16773", "16786", "16795", "17052", "17453", "18177",
+    "18184", "19088", "19090", "19093", "19140", "19830",
+)
+
+
+@dataclass(frozen=True)
+class RecordSpec:
+    """Generation parameters of one synthetic record."""
+
+    name: str
+    heart_rate_bpm: float
+    heart_rate_std_bpm: float
+    amplitude_scale: float
+    noise_profile: NoiseProfile
+    seed: int
+
+    @staticmethod
+    def for_name(name: str) -> "RecordSpec":
+        """Derive deterministic generation parameters from a record name."""
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        heart_rate = float(rng.uniform(58.0, 92.0))
+        heart_rate_std = float(rng.uniform(1.5, 4.5))
+        amplitude_scale = float(rng.uniform(0.85, 1.25))
+        noise = NoiseProfile(
+            baseline_amplitude_mv=float(rng.uniform(0.06, 0.18)),
+            baseline_frequency_hz=float(rng.uniform(0.15, 0.35)),
+            powerline_amplitude_mv=float(rng.uniform(0.02, 0.06)),
+            powerline_frequency_hz=50.0,
+            muscle_rms_mv=float(rng.uniform(0.015, 0.045)),
+        )
+        seed = int.from_bytes(digest[8:12], "little")
+        return RecordSpec(
+            name=name,
+            heart_rate_bpm=heart_rate,
+            heart_rate_std_bpm=heart_rate_std,
+            amplitude_scale=amplitude_scale,
+            noise_profile=noise,
+            seed=seed,
+        )
+
+
+@dataclass
+class ECGRecord:
+    """A digitised ECG recording with ground-truth beat annotations.
+
+    Attributes
+    ----------
+    name:
+        Record identifier (NSRDB-style).
+    samples:
+        Signed 16-bit ADC codes at ``sample_rate_hz``.
+    r_peak_indices:
+        Ground-truth R-peak sample locations.
+    sample_rate_hz:
+        Sampling rate (200 Hz).
+    signal_mv:
+        The noisy analog-domain signal before conversion (for plots/metrics).
+    clean_mv:
+        The noise-free synthetic ECG underlying the record.
+    spec:
+        The generation parameters used to create the record.
+    """
+
+    name: str
+    samples: np.ndarray
+    r_peak_indices: np.ndarray
+    sample_rate_hz: int
+    signal_mv: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    clean_mv: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    spec: Optional[RecordSpec] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Recording length in seconds."""
+        return self.samples.size / float(self.sample_rate_hz)
+
+    @property
+    def beat_count(self) -> int:
+        """Number of annotated beats."""
+        return int(self.r_peak_indices.size)
+
+    def mean_heart_rate_bpm(self) -> float:
+        """Heart rate implied by the ground-truth annotations."""
+        if self.r_peak_indices.size < 2:
+            return 0.0
+        rr = np.diff(self.r_peak_indices) / float(self.sample_rate_hz)
+        return 60.0 / float(np.mean(rr))
+
+
+def list_records() -> List[str]:
+    """Names of all records available in the synthetic registry."""
+    return list(NSRDB_RECORD_NAMES)
+
+
+def load_record(
+    name: str = "16265",
+    duration_s: float = 10.0,
+    sample_rate_hz: int = 200,
+    adc: ADCConfig = ADCConfig(),
+    include_noise: bool = True,
+) -> ECGRecord:
+    """Generate (deterministically) the synthetic record called ``name``.
+
+    Unknown names are accepted — any string maps to a valid, reproducible
+    record — but the registry in :data:`NSRDB_RECORD_NAMES` mirrors the real
+    NSRDB identifiers used by the paper.
+
+    Parameters
+    ----------
+    name:
+        Record identifier.
+    duration_s:
+        Length of the generated segment.  The paper processes 20,000-sample
+        (100 s) excerpts; shorter segments are sufficient for tests.
+    sample_rate_hz:
+        Sampling rate (the Pan-Tompkins design assumes 200 Hz).
+    adc:
+        Front-end conversion parameters.
+    include_noise:
+        When False the record contains only the clean synthetic ECG.
+    """
+    spec = RecordSpec.for_name(name)
+    morphology = BeatMorphology().scaled(spec.amplitude_scale)
+    clean = synthesize_ecg(
+        duration_s=duration_s,
+        sample_rate_hz=sample_rate_hz,
+        heart_rate_bpm=spec.heart_rate_bpm,
+        heart_rate_std_bpm=spec.heart_rate_std_bpm,
+        morphology=morphology,
+        seed=spec.seed,
+    )
+    if include_noise:
+        noisy_mv = apply_noise(
+            clean.signal_mv, sample_rate_hz, spec.noise_profile, seed=spec.seed + 1
+        )
+    else:
+        noisy_mv = clean.signal_mv.copy()
+    samples = digitize(noisy_mv, adc)
+    return ECGRecord(
+        name=name,
+        samples=samples,
+        r_peak_indices=clean.r_peak_indices,
+        sample_rate_hz=sample_rate_hz,
+        signal_mv=noisy_mv,
+        clean_mv=clean.signal_mv,
+        spec=spec,
+    )
+
+
+def load_records(
+    names: Optional[Tuple[str, ...]] = None,
+    duration_s: float = 10.0,
+    sample_rate_hz: int = 200,
+) -> Dict[str, ECGRecord]:
+    """Load several records at once, keyed by name."""
+    names = names or NSRDB_RECORD_NAMES[:4]
+    return {
+        name: load_record(name, duration_s=duration_s, sample_rate_hz=sample_rate_hz)
+        for name in names
+    }

@@ -1,0 +1,115 @@
+"""Unit tests for the two's-complement bit-vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arithmetic.bitvector import (
+    bits_of,
+    clamp_signed,
+    from_bits,
+    mask,
+    signed_max,
+    signed_min,
+    to_signed,
+    to_signed_array,
+    to_unsigned,
+    to_unsigned_array,
+)
+
+
+class TestMask:
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 15
+        assert mask(8) == 255
+
+    def test_word_widths(self):
+        assert mask(16) == 0xFFFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            mask(0)
+        with pytest.raises(ValueError):
+            mask(-3)
+
+
+class TestSignedUnsignedConversion:
+    def test_positive_values_unchanged(self):
+        assert to_unsigned(5, 8) == 5
+        assert to_signed(5, 8) == 5
+
+    def test_negative_one_is_all_ones(self):
+        assert to_unsigned(-1, 8) == 255
+        assert to_signed(255, 8) == -1
+
+    def test_most_negative_value(self):
+        assert to_unsigned(-128, 8) == 128
+        assert to_signed(128, 8) == -128
+
+    def test_wrap_around_like_hardware(self):
+        # 200 does not fit in signed 8-bit: the pattern re-interprets as -56.
+        assert to_signed(to_unsigned(200, 8), 8) == 200 - 256
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_roundtrip_16_bit(self, value):
+        assert to_signed(to_unsigned(value, 16), 16) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1), st.integers(2, 32))
+    def test_roundtrip_is_congruent_modulo_2_pow_width(self, value, width):
+        recovered = to_signed(to_unsigned(value, width), width)
+        assert (recovered - value) % (1 << width) == 0
+
+
+class TestBitsConversion:
+    def test_bits_of_lsb_first(self):
+        assert bits_of(6, 4) == [0, 1, 1, 0]
+
+    def test_from_bits_inverse(self):
+        assert from_bits([0, 1, 1, 0]) == 6
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        assert from_bits(bits_of(value, 16)) == value
+
+    def test_negative_value_bits_are_twos_complement(self):
+        assert bits_of(-1, 4) == [1, 1, 1, 1]
+
+
+class TestSignedRange:
+    def test_bounds(self):
+        assert signed_min(16) == -32768
+        assert signed_max(16) == 32767
+
+    def test_clamp_inside_range_is_identity(self):
+        assert clamp_signed(123, 16) == 123
+
+    def test_clamp_saturates(self):
+        assert clamp_signed(70000, 16) == 32767
+        assert clamp_signed(-70000, 16) == -32768
+
+
+class TestArrayConversions:
+    def test_matches_scalar_conversion(self):
+        values = np.array([-32768, -1, 0, 1, 32767])
+        unsigned = to_unsigned_array(values, 16)
+        assert list(unsigned) == [to_unsigned(int(v), 16) for v in values]
+        assert list(to_signed_array(unsigned, 16)) == list(values)
+
+    def test_wraps_like_scalar(self):
+        values = np.array([40000, -40000])
+        signed = to_signed_array(values, 16)
+        assert list(signed) == [to_signed(40000, 16), to_signed(-40000, 16)]
+
+    @given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                    min_size=1, max_size=20))
+    def test_array_matches_scalar_32_bit(self, values):
+        arr = np.array(values, dtype=np.int64)
+        expected = [to_signed(to_unsigned(v, 32), 32) for v in values]
+        assert list(to_signed_array(to_unsigned_array(arr, 32), 32)) == expected

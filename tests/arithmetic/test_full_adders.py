@@ -1,0 +1,115 @@
+"""Unit tests for the elementary 1-bit full-adder cells."""
+
+import pytest
+
+from repro.arithmetic.full_adders import (
+    ACCURATE_ADDER,
+    ADDER_CELLS,
+    APPROX_ADD1,
+    APPROX_ADD2,
+    APPROX_ADD3,
+    APPROX_ADD4,
+    APPROX_ADD5,
+    FullAdderCell,
+    accurate_sum_cout,
+    adder_cell,
+)
+
+ALL_PATTERNS = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+
+
+class TestAccurateFullAdder:
+    @pytest.mark.parametrize("a,b,cin", ALL_PATTERNS)
+    def test_matches_integer_addition(self, a, b, cin):
+        s, cout = ACCURATE_ADDER.evaluate(a, b, cin)
+        assert s + 2 * cout == a + b + cin
+
+    def test_is_exact(self):
+        assert ACCURATE_ADDER.is_exact
+        assert ACCURATE_ADDER.sum_errors == 0
+        assert ACCURATE_ADDER.cout_errors == 0
+
+    def test_accurate_sum_cout_helper(self):
+        assert accurate_sum_cout(1, 1, 1) == (1, 1)
+        assert accurate_sum_cout(1, 0, 0) == (1, 0)
+
+
+class TestApproximateCells:
+    def test_library_contains_six_cells(self):
+        assert set(ADDER_CELLS) == {
+            "Accurate",
+            "ApproxAdd1",
+            "ApproxAdd2",
+            "ApproxAdd3",
+            "ApproxAdd4",
+            "ApproxAdd5",
+        }
+
+    def test_error_counts_match_documented_simplifications(self):
+        assert (APPROX_ADD1.sum_errors, APPROX_ADD1.cout_errors) == (2, 0)
+        assert (APPROX_ADD2.sum_errors, APPROX_ADD2.cout_errors) == (2, 0)
+        assert (APPROX_ADD3.sum_errors, APPROX_ADD3.cout_errors) == (3, 0)
+        assert (APPROX_ADD4.sum_errors, APPROX_ADD4.cout_errors) == (0, 2)
+        assert (APPROX_ADD5.sum_errors, APPROX_ADD5.cout_errors) == (4, 2)
+
+    @pytest.mark.parametrize("a,b,cin", ALL_PATTERNS)
+    def test_approx_add5_is_wired_to_b(self, a, b, cin):
+        assert APPROX_ADD5.evaluate(a, b, cin) == (b, b)
+
+    @pytest.mark.parametrize("a,b,cin", ALL_PATTERNS)
+    def test_approx_add4_has_exact_sum_and_cout_equals_a(self, a, b, cin):
+        s, cout = APPROX_ADD4.evaluate(a, b, cin)
+        assert s == (a ^ b ^ cin)
+        assert cout == a
+
+    @pytest.mark.parametrize("a,b,cin", ALL_PATTERNS)
+    def test_carry_chain_exact_for_add1_to_add3(self, a, b, cin):
+        _, exact_cout = accurate_sum_cout(a, b, cin)
+        for cell in (APPROX_ADD1, APPROX_ADD2, APPROX_ADD3):
+            assert cell.evaluate(a, b, cin)[1] == exact_cout
+
+    @pytest.mark.parametrize("name", list(ADDER_CELLS))
+    def test_outputs_are_binary(self, name):
+        cell = adder_cell(name)
+        for pattern in ALL_PATTERNS:
+            s, cout = cell.evaluate(*pattern)
+            assert s in (0, 1) and cout in (0, 1)
+
+    @pytest.mark.parametrize("name", list(ADDER_CELLS))
+    def test_error_rate_consistent_with_error_patterns(self, name):
+        cell = adder_cell(name)
+        wrong = cell.error_patterns()
+        if cell.is_exact:
+            assert wrong == []
+        else:
+            assert len(wrong) > 0
+            assert cell.error_rate > 0
+
+    def test_output_tables_consistent_with_evaluate(self):
+        for cell in ADDER_CELLS.values():
+            sums, couts = cell.output_tables()
+            for index, (a, b, cin) in enumerate(ALL_PATTERNS):
+                assert (sums[index], couts[index]) == cell.evaluate(a, b, cin)
+
+
+class TestLookup:
+    def test_lookup_is_case_insensitive(self):
+        assert adder_cell("approxadd5") is APPROX_ADD5
+        assert adder_cell("ACCURATE") is ACCURATE_ADDER
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            adder_cell("NotACell")
+
+
+class TestValidation:
+    def test_incomplete_truth_table_rejected(self):
+        table = {(0, 0, 0): (0, 0)}
+        with pytest.raises(ValueError):
+            FullAdderCell(name="broken", truth_table=table)
+
+    def test_non_binary_output_rejected(self):
+        table = {p: (0, 0) for p in ALL_PATTERNS}
+        table[(1, 1, 1)] = (2, 0)
+        with pytest.raises(ValueError):
+            FullAdderCell(name="broken", truth_table=table)

@@ -1,0 +1,95 @@
+"""Unit tests for the elementary 2x2 multiplier cells."""
+
+import pytest
+
+from repro.arithmetic.multipliers_2x2 import (
+    ACCURATE_MULT,
+    APP_MULT_V1,
+    APP_MULT_V2,
+    MULTIPLIER_CELLS,
+    Multiplier2x2Cell,
+    multiplier_cell,
+)
+
+ALL_OPERANDS = [(a, b) for a in range(4) for b in range(4)]
+
+
+class TestAccurateMultiplier:
+    @pytest.mark.parametrize("a,b", ALL_OPERANDS)
+    def test_matches_integer_product(self, a, b):
+        assert ACCURATE_MULT.evaluate(a, b) == a * b
+
+    def test_is_exact(self):
+        assert ACCURATE_MULT.is_exact
+        assert ACCURATE_MULT.error_count == 0
+        assert ACCURATE_MULT.max_error_magnitude == 0
+
+
+class TestAppMultV1:
+    def test_only_error_is_three_times_three(self):
+        assert APP_MULT_V1.error_operands() == [(3, 3)]
+        assert APP_MULT_V1.evaluate(3, 3) == 7
+
+    def test_error_magnitude_is_two(self):
+        assert APP_MULT_V1.max_error_magnitude == 2
+
+    @pytest.mark.parametrize("a,b", [op for op in ALL_OPERANDS if op != (3, 3)])
+    def test_all_other_products_exact(self, a, b):
+        assert APP_MULT_V1.evaluate(a, b) == a * b
+
+    def test_output_fits_in_three_bits(self):
+        # The whole point of the Kulkarni cell: the MSB is never produced.
+        assert all(APP_MULT_V1.evaluate(a, b) < 8 for a, b in ALL_OPERANDS)
+
+
+class TestAppMultV2:
+    def test_is_strictly_more_approximate_than_v1(self):
+        assert APP_MULT_V2.error_count > APP_MULT_V1.error_count
+        assert APP_MULT_V2.mean_error >= APP_MULT_V1.mean_error
+
+    def test_inherits_v1_error(self):
+        assert APP_MULT_V2.evaluate(3, 3) == 7
+
+    def test_additional_errors_are_low_magnitude(self):
+        assert APP_MULT_V2.max_error_magnitude <= 2
+
+    def test_zero_and_one_operands_always_exact(self):
+        for other in range(4):
+            assert APP_MULT_V2.evaluate(0, other) == 0
+            assert APP_MULT_V2.evaluate(other, 0) == 0
+            assert APP_MULT_V2.evaluate(1, other) == other
+            assert APP_MULT_V2.evaluate(other, 1) == other
+
+
+class TestLibrary:
+    def test_contains_three_cells(self):
+        assert set(MULTIPLIER_CELLS) == {"AccMult", "AppMultV1", "AppMultV2"}
+
+    def test_lookup_case_insensitive(self):
+        assert multiplier_cell("appmultv1") is APP_MULT_V1
+        assert multiplier_cell("ACCMULT") is ACCURATE_MULT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            multiplier_cell("AppMultV9")
+
+    def test_output_table_consistent_with_evaluate(self):
+        for cell in MULTIPLIER_CELLS.values():
+            table = cell.output_table()
+            for a, b in ALL_OPERANDS:
+                assert table[a * 4 + b] == cell.evaluate(a, b)
+
+    def test_operands_are_masked_to_two_bits(self):
+        assert ACCURATE_MULT.evaluate(7, 5) == (7 & 3) * (5 & 3)
+
+
+class TestValidation:
+    def test_incomplete_table_rejected(self):
+        with pytest.raises(ValueError):
+            Multiplier2x2Cell(name="broken", product_table={(0, 0): 0})
+
+    def test_out_of_range_product_rejected(self):
+        table = {(a, b): a * b for a, b in ALL_OPERANDS}
+        table[(3, 3)] = 16
+        with pytest.raises(ValueError):
+            Multiplier2x2Cell(name="broken", product_table=table)

@@ -1,0 +1,111 @@
+"""Unit tests for the ripple-carry adder with approximated LSB slices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arithmetic.full_adders import (
+    ACCURATE_ADDER,
+    APPROX_ADD1,
+    APPROX_ADD5,
+    adder_cell,
+)
+from repro.arithmetic.rca import RippleCarryAdder
+
+int16 = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+
+
+class TestAccurateConfiguration:
+    @given(int16, int16)
+    def test_zero_approx_lsbs_is_exact_16_bit(self, a, b):
+        adder = RippleCarryAdder(width=17, approx_lsbs=0, approx_cell=APPROX_ADD5)
+        assert adder.add(a, b) == a + b  # 17 bits: no wrap for 16-bit operands
+
+    @given(int16, int16)
+    def test_accurate_cell_everywhere_is_exact(self, a, b):
+        adder = RippleCarryAdder(width=17, approx_lsbs=17, approx_cell=ACCURATE_ADDER)
+        assert adder.add(a, b) == a + b
+
+    def test_wraps_at_word_width(self):
+        adder = RippleCarryAdder(width=8, approx_lsbs=0, approx_cell=APPROX_ADD5)
+        assert adder.add(127, 1) == -128  # two's-complement wrap
+
+    def test_carry_out_reported(self):
+        adder = RippleCarryAdder(width=4, approx_lsbs=0, approx_cell=APPROX_ADD5)
+        result, carry = adder.add_with_carry(0b1111, 0b0001)
+        assert result == 0
+        assert carry == 1
+
+    @given(int16, int16)
+    def test_subtract_matches_python(self, a, b):
+        adder = RippleCarryAdder(width=20, approx_lsbs=0, approx_cell=APPROX_ADD5)
+        assert adder.subtract(a, b) == a - b
+
+
+class TestApproximateConfiguration:
+    @given(int16, int16, st.integers(min_value=1, max_value=12))
+    def test_error_is_bounded_by_the_approximated_region(self, a, b, k):
+        adder = RippleCarryAdder(width=20, approx_lsbs=k, approx_cell=APPROX_ADD5)
+        error = abs(adder.add(a, b) - (a + b))
+        assert error <= adder.max_error_bound()
+
+    @given(int16, int16, st.integers(min_value=0, max_value=16))
+    def test_upper_bits_unaffected_beyond_error_bound(self, a, b, k):
+        adder = RippleCarryAdder(width=20, approx_lsbs=k, approx_cell=APPROX_ADD1)
+        exact = a + b
+        approx = adder.add(a, b)
+        # The approximate result can deviate by less than 2**(k+1).
+        assert abs(approx - exact) < (1 << (k + 1)) or k == 0
+
+    def test_add5_low_bits_pass_through_operand_b(self):
+        adder = RippleCarryAdder(width=16, approx_lsbs=4, approx_cell=APPROX_ADD5)
+        a, b = 0b1010_1010_1010_1010 - (1 << 16), 0b0101  # a negative, b=5
+        result = adder.add(a, b)
+        assert result & 0b1111 == b & 0b1111
+
+    def test_effective_lsbs_clamped_to_width(self):
+        adder = RippleCarryAdder(width=8, approx_lsbs=50, approx_cell=APPROX_ADD5)
+        assert adder.effective_approx_lsbs == 8
+
+    def test_cell_for_slice_boundary(self):
+        adder = RippleCarryAdder(width=8, approx_lsbs=3, approx_cell=APPROX_ADD5)
+        assert adder.cell_for_slice(0) is APPROX_ADD5
+        assert adder.cell_for_slice(2) is APPROX_ADD5
+        assert adder.cell_for_slice(3) is ACCURATE_ADDER
+
+    def test_cell_for_slice_out_of_range(self):
+        adder = RippleCarryAdder(width=8, approx_lsbs=3, approx_cell=APPROX_ADD5)
+        with pytest.raises(ValueError):
+            adder.cell_for_slice(8)
+
+    def test_max_error_bound_zero_for_exact_cell(self):
+        adder = RippleCarryAdder(width=8, approx_lsbs=4, approx_cell=ACCURATE_ADDER)
+        assert adder.max_error_bound() == 0
+
+    @pytest.mark.parametrize("cell_name", ["ApproxAdd1", "ApproxAdd2", "ApproxAdd3", "ApproxAdd4"])
+    def test_full_width_approximation_still_bounded(self, cell_name):
+        adder = RippleCarryAdder(width=12, approx_lsbs=12, approx_cell=adder_cell(cell_name))
+        for a, b in [(0, 0), (100, 200), (-1, 1), (2047, -2048), (1234, 987)]:
+            result = adder.add(a, b)
+            assert -(1 << 11) <= result < (1 << 11)
+
+
+class TestUnsignedInterface:
+    def test_add_unsigned_wraps_modulo_width(self):
+        adder = RippleCarryAdder(width=8, approx_lsbs=0, approx_cell=APPROX_ADD5)
+        assert adder.add_unsigned(250, 10) == (250 + 10) % 256
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1))
+    def test_add_unsigned_exact_with_headroom(self, a, b):
+        adder = RippleCarryAdder(width=13, approx_lsbs=0, approx_cell=APPROX_ADD5)
+        assert adder.add_unsigned(a, b) == a + b
+
+
+class TestValidation:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            RippleCarryAdder(width=0, approx_lsbs=0, approx_cell=APPROX_ADD5)
+
+    def test_negative_lsbs_rejected(self):
+        with pytest.raises(ValueError):
+            RippleCarryAdder(width=8, approx_lsbs=-1, approx_cell=APPROX_ADD5)

@@ -1,0 +1,134 @@
+"""Unit tests for the recursive (approximate) multiplier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.full_adders import ACCURATE_ADDER, APPROX_ADD5
+from repro.arithmetic.multipliers_2x2 import ACCURATE_MULT, APP_MULT_V1, APP_MULT_V2
+from repro.arithmetic.recursive_multiplier import RecursiveMultiplier
+
+uint8 = st.integers(min_value=0, max_value=255)
+int16 = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+
+
+def exact_multiplier(width: int) -> RecursiveMultiplier:
+    return RecursiveMultiplier(
+        width=width, approx_lsbs=0, mult_cell=ACCURATE_MULT, adder_cell=ACCURATE_ADDER
+    )
+
+
+class TestExactConfiguration:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_small_exhaustive_or_sampled(self, width):
+        multiplier = exact_multiplier(width)
+        limit = min(1 << width, 16)
+        step = max(1, (1 << width) // limit)
+        for a in range(0, 1 << width, step):
+            for b in range(0, 1 << width, step):
+                assert multiplier.multiply_unsigned(a, b) == a * b
+
+    @given(uint8, uint8)
+    def test_8_bit_exact(self, a, b):
+        assert exact_multiplier(8).multiply_unsigned(a, b) == a * b
+
+    @given(int16, int16)
+    @settings(max_examples=30)
+    def test_signed_16_bit_exact(self, a, b):
+        assert exact_multiplier(16).multiply(a, b) == a * b
+
+    def test_full_scale_corner(self):
+        multiplier = exact_multiplier(16)
+        assert multiplier.multiply_unsigned(0xFFFF, 0xFFFF) == 0xFFFF * 0xFFFF
+        assert multiplier.multiply(-32768, 32767) == -32768 * 32767
+
+
+class TestApproximateConfiguration:
+    @given(uint8, uint8, st.integers(min_value=0, max_value=8))
+    @settings(max_examples=50)
+    def test_error_confined_to_low_order_bits(self, a, b, k):
+        multiplier = RecursiveMultiplier(
+            width=8, approx_lsbs=k, mult_cell=APP_MULT_V1, adder_cell=APPROX_ADD5
+        )
+        exact = a * b
+        approx = multiplier.multiply_unsigned(a, b)
+        # The error is confined to the approximated low-order region: each
+        # approximated accumulation adder can perturb the result by at most a
+        # few units of weight 2**k (empirically < 8x for this structure).
+        assert abs(approx - exact) < (1 << (k + 3)) or k == 0
+
+    def test_zero_lsbs_with_approx_cells_is_exact(self):
+        multiplier = RecursiveMultiplier(
+            width=16, approx_lsbs=0, mult_cell=APP_MULT_V2, adder_cell=APPROX_ADD5
+        )
+        assert multiplier.multiply(1234, -567) == 1234 * -567
+
+    def test_multiplying_by_zero_with_add5_cells(self):
+        multiplier = RecursiveMultiplier(
+            width=8, approx_lsbs=6, mult_cell=APP_MULT_V1, adder_cell=APPROX_ADD5
+        )
+        # Zero operands keep a zero product even under heavy approximation
+        # (all partial products and pass-through bits are zero).
+        assert multiplier.multiply_unsigned(0, 173) == 0
+        assert multiplier.multiply_unsigned(173, 0) == 0
+
+    def test_sign_handling_is_sign_magnitude(self):
+        multiplier = RecursiveMultiplier(
+            width=8, approx_lsbs=4, mult_cell=APP_MULT_V1, adder_cell=APPROX_ADD5
+        )
+        positive = multiplier.multiply(100, 50)
+        assert multiplier.multiply(-100, 50) == -positive
+        assert multiplier.multiply(100, -50) == -positive
+        assert multiplier.multiply(-100, -50) == positive
+
+    def test_effective_lsbs_clamped_to_product_width(self):
+        multiplier = RecursiveMultiplier(
+            width=4, approx_lsbs=100, mult_cell=APP_MULT_V1, adder_cell=APPROX_ADD5
+        )
+        assert multiplier.effective_approx_lsbs == 8
+
+    def test_kulkarni_error_visible_when_block_is_approximated(self):
+        # 3 x 3 at the very bottom of the multiplier becomes 7 when the LL
+        # block is inside the approximated region.
+        multiplier = RecursiveMultiplier(
+            width=2, approx_lsbs=4, mult_cell=APP_MULT_V1, adder_cell=ACCURATE_ADDER
+        )
+        assert multiplier.multiply_unsigned(3, 3) == 7
+
+
+class TestStructure:
+    def test_block_offsets_of_a_4x4(self):
+        multiplier = RecursiveMultiplier(
+            width=4, approx_lsbs=0, mult_cell=ACCURATE_MULT, adder_cell=ACCURATE_ADDER
+        )
+        assert multiplier.elementary_block_offsets() == (0, 2, 2, 4)
+
+    def test_16x16_has_64_elementary_blocks(self):
+        multiplier = RecursiveMultiplier(
+            width=16, approx_lsbs=0, mult_cell=ACCURATE_MULT, adder_cell=ACCURATE_ADDER
+        )
+        offsets = multiplier.elementary_block_offsets()
+        assert len(offsets) == 64
+        assert min(offsets) == 0
+        assert max(offsets) == 28
+
+    def test_product_width(self):
+        multiplier = exact_multiplier(16)
+        assert multiplier.product_width == 32
+
+
+class TestValidation:
+    def test_non_power_of_two_width_rejected(self):
+        with pytest.raises(ValueError):
+            RecursiveMultiplier(width=6, approx_lsbs=0,
+                                mult_cell=ACCURATE_MULT, adder_cell=ACCURATE_ADDER)
+
+    def test_width_one_rejected(self):
+        with pytest.raises(ValueError):
+            RecursiveMultiplier(width=1, approx_lsbs=0,
+                                mult_cell=ACCURATE_MULT, adder_cell=ACCURATE_ADDER)
+
+    def test_negative_lsbs_rejected(self):
+        with pytest.raises(ValueError):
+            RecursiveMultiplier(width=8, approx_lsbs=-2,
+                                mult_cell=ACCURATE_MULT, adder_cell=ACCURATE_ADDER)

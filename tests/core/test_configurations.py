@@ -1,0 +1,130 @@
+"""Unit tests for design points and the Fig. 12 paper configurations."""
+
+import pytest
+
+from repro.core.configurations import (
+    DesignPoint,
+    PAPER_CONFIGURATIONS,
+    StageApproximation,
+    paper_configuration,
+    paper_configuration_names,
+)
+
+
+class TestStageApproximation:
+    def test_canonicalises_stage_aliases(self):
+        setting = StageApproximation("lpf", 8)
+        assert setting.stage == "low_pass"
+
+    def test_backend_reflects_setting(self):
+        setting = StageApproximation("hpf", 6, adder="ApproxAdd3", multiplier="AppMultV2")
+        backend = setting.backend()
+        assert backend.approx_lsbs == 6
+        assert backend.resolved_adder.name == "ApproxAdd3"
+        assert backend.resolved_multiplier.name == "AppMultV2"
+
+    def test_negative_lsbs_rejected(self):
+        with pytest.raises(ValueError):
+            StageApproximation("lpf", -1)
+
+    def test_is_accurate(self):
+        assert StageApproximation("lpf", 0).is_accurate
+        assert not StageApproximation("lpf", 2).is_accurate
+
+
+class TestDesignPoint:
+    def test_from_lsbs_skips_zero_stages(self):
+        design = DesignPoint.from_lsbs({"lpf": 8, "hpf": 0})
+        assert design.lsbs_for("lpf") == 8
+        assert design.lsbs_for("hpf") == 0
+        assert len(design.stages) == 1
+
+    def test_accurate_design(self):
+        design = DesignPoint.accurate()
+        assert design.is_accurate
+        assert design.energy_reduction() == pytest.approx(1.0)
+
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(ValueError):
+            DesignPoint(stages=(StageApproximation("lpf", 2), StageApproximation("lpf", 4)))
+
+    def test_replacing_updates_single_stage(self):
+        design = DesignPoint.from_lsbs({"lpf": 8, "hpf": 4})
+        updated = design.replacing(StageApproximation("hpf", 12))
+        assert updated.lsbs_for("hpf") == 12
+        assert updated.lsbs_for("lpf") == 8
+        assert design.lsbs_for("hpf") == 4  # original untouched
+
+    def test_replacing_with_zero_removes_stage(self):
+        design = DesignPoint.from_lsbs({"lpf": 8})
+        updated = design.replacing(StageApproximation("lpf", 0))
+        assert updated.is_accurate
+
+    def test_lsbs_map_covers_all_stages(self):
+        design = DesignPoint.from_lsbs({"lpf": 8})
+        lsbs = design.lsbs_map()
+        assert len(lsbs) == 5
+        assert lsbs["low_pass"] == 8
+        assert lsbs["squarer"] == 0
+
+    def test_backends_only_for_approximated_stages(self):
+        design = DesignPoint.from_lsbs({"lpf": 8, "mwi": 16})
+        backends = design.backends()
+        assert set(backends) == {"low_pass", "moving_window_integral"}
+
+    def test_energy_reduction_greater_with_more_approximation(self):
+        mild = DesignPoint.from_lsbs({"lpf": 4})
+        aggressive = DesignPoint.from_lsbs({"lpf": 12, "hpf": 12})
+        assert aggressive.energy_reduction() > mild.energy_reduction() > 1.0
+
+    def test_summary_mentions_all_stages(self):
+        design = DesignPoint.from_lsbs({"lpf": 10, "hpf": 12}, name="B2")
+        summary = design.summary()
+        assert summary.startswith("B2:")
+        assert "lpf=10" in summary and "mwi=0" in summary
+
+    def test_design_points_are_hashable(self):
+        a = DesignPoint.from_lsbs({"lpf": 8}, name="x")
+        b = DesignPoint.from_lsbs({"lpf": 8}, name="x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPaperConfigurations:
+    def test_all_fifteen_hardware_configs_present(self):
+        names = list(paper_configuration_names())
+        assert "A2" in names
+        assert len([n for n in names if n.startswith("B")]) == 14
+
+    def test_b9_lsbs_match_the_figure(self):
+        b9 = paper_configuration("B9")
+        assert b9.lsbs_for("lpf") == 10
+        assert b9.lsbs_for("hpf") == 12
+        assert b9.lsbs_for("der") == 2
+        assert b9.lsbs_for("sqr") == 8
+        assert b9.lsbs_for("mwi") == 16
+
+    def test_a2_is_accurate(self):
+        assert paper_configuration("A2").is_accurate
+
+    def test_lookup_case_insensitive(self):
+        assert paper_configuration("b10") is PAPER_CONFIGURATIONS["B10"]
+
+    def test_unknown_configuration_raises(self):
+        with pytest.raises(KeyError):
+            paper_configuration("B99")
+
+    def test_energy_ordering_b1_to_b14_roughly_increases(self):
+        """Later configurations approximate more stages/LSBs and save more."""
+        assert (
+            paper_configuration("B14").energy_reduction()
+            > paper_configuration("B9").energy_reduction()
+            > paper_configuration("B1").energy_reduction()
+            > 1.0
+        )
+
+    def test_preprocessing_only_vs_full_designs(self):
+        assert (
+            paper_configuration("B9").energy_reduction()
+            > paper_configuration("B2").energy_reduction()
+        )

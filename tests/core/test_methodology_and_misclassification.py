@@ -1,0 +1,91 @@
+"""Integration tests: the full XBioSiP flow and the Fig. 13 analysis."""
+
+import pytest
+
+from repro.core import (
+    FULL_ACCURACY_CONSTRAINT,
+    QualityConstraint,
+    XBioSiP,
+    analyze_misclassifications,
+    paper_configuration,
+)
+from repro.core.configurations import DesignPoint
+from repro.signals import load_record
+
+
+@pytest.fixture(scope="module")
+def methodology_result(short_record):
+    methodology = XBioSiP(
+        [short_record],
+        preprocessing_constraint=QualityConstraint("psnr", 22.0),
+        final_constraint=FULL_ACCURACY_CONSTRAINT,
+    )
+    return methodology, methodology.run()
+
+
+class TestXBioSiPFlow:
+    def test_final_design_meets_the_final_constraint(self, methodology_result):
+        _, result = methodology_result
+        assert result.final_evaluation.peak_accuracy == 1.0
+
+    def test_final_design_saves_energy(self, methodology_result):
+        _, result = methodology_result
+        assert result.energy_reduction > 2.0
+
+    def test_two_sections_are_explored(self, methodology_result):
+        _, result = methodology_result
+        assert result.preprocessing_result.trace.evaluated_designs >= 1
+        assert result.signal_processing_result.trace.evaluated_designs >= 1
+
+    def test_resilience_profiles_for_all_five_stages(self, methodology_result):
+        _, result = methodology_result
+        assert len(result.resilience_profiles) == 5
+
+    def test_evaluation_counter_reported(self, methodology_result):
+        _, result = methodology_result
+        assert result.evaluations_performed >= result.preprocessing_result.trace.evaluated_designs
+
+    def test_report_is_human_readable(self, methodology_result):
+        _, result = methodology_result
+        report = result.report()
+        assert "energy reduction" in report
+        assert "peak detection" in report
+
+    def test_library_energy_order(self, methodology_result):
+        methodology, _ = methodology_result
+        order = methodology.library_energy_order()
+        assert order["adders"][0] == "Accurate"
+        assert order["adders"][-1] == "ApproxAdd5"
+        assert order["multipliers"][-1] == "AppMultV2"
+
+    def test_default_cell_lists_follow_the_paper(self, short_record):
+        methodology = XBioSiP([short_record])
+        assert methodology.adder_list == ["ApproxAdd5"]
+        assert methodology.multiplier_list == ["AppMultV1"]
+
+
+class TestMisclassification:
+    def test_accurate_design_has_no_misclassifications(self, short_record):
+        report = analyze_misclassifications(short_record, DesignPoint.accurate())
+        assert report.missed_count == 0
+        assert report.extra_count == 0
+        assert report.accuracy == 1.0
+
+    def test_aggressive_design_misses_beats(self, short_record):
+        report = analyze_misclassifications(
+            short_record, DesignPoint.from_lsbs({"lpf": 16, "hpf": 16}, name="broken")
+        )
+        assert report.missed_count > 0
+        assert report.misclassification_rate > 0.0
+
+    def test_b10_report_fields(self, short_record):
+        report = analyze_misclassifications(short_record, paper_configuration("B10"))
+        assert report.true_beats == short_record.beat_count
+        assert report.accurate_detections == short_record.beat_count
+        assert 0.0 <= report.accuracy <= 1.0
+        assert "B10" in report.summary()
+
+    def test_report_on_second_record(self, second_record):
+        report = analyze_misclassifications(second_record, paper_configuration("B1"))
+        assert report.record_name == second_record.name
+        assert report.approximate_detections >= 0

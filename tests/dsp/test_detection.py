@@ -1,0 +1,107 @@
+"""Unit tests for the adaptive-threshold peak detection (decision stage)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.detection import PeakDetectionConfig, PeakDetectionResult, detect_peaks
+
+
+def synthetic_mwi(peak_positions, length=2000, peak_value=2000.0, width=12):
+    """Build an MWI-like signal: smooth bumps at the requested positions."""
+    signal = np.zeros(length)
+    for position in peak_positions:
+        lo = max(0, position - 3 * width)
+        hi = min(length, position + 3 * width)
+        t = np.arange(lo, hi)
+        signal[lo:hi] += peak_value * np.exp(-0.5 * ((t - position) / width) ** 2)
+    return signal
+
+
+class TestBasicDetection:
+    def test_detects_regular_peaks(self):
+        truth = list(range(150, 1900, 170))
+        result = detect_peaks(synthetic_mwi(truth))
+        assert result.peak_count == len(truth)
+        for detected, expected in zip(result.peak_indices, truth):
+            assert abs(detected - expected) <= 3
+
+    def test_empty_signal(self):
+        result = detect_peaks(np.zeros(0))
+        assert result.peak_count == 0
+
+    def test_flat_signal_has_no_peaks(self):
+        result = detect_peaks(np.full(1000, 5.0))
+        assert result.peak_count == 0
+
+    def test_single_peak(self):
+        result = detect_peaks(synthetic_mwi([500]))
+        assert result.peak_count == 1
+
+    def test_result_type(self):
+        result = detect_peaks(synthetic_mwi([400, 800]))
+        assert isinstance(result, PeakDetectionResult)
+        assert result.peak_array().dtype == np.int64
+
+
+class TestRefractoryPeriod:
+    def test_peaks_closer_than_refractory_are_merged(self):
+        # Two bumps only 20 samples apart: physiologically impossible, the
+        # detector must not report both.
+        signal = synthetic_mwi([500, 520, 900])
+        result = detect_peaks(signal)
+        close = [p for p in result.peak_indices if 480 <= p <= 540]
+        assert len(close) <= 1
+
+
+class TestAdaptiveThreshold:
+    def test_small_noise_bumps_rejected(self):
+        truth = [300, 600, 900, 1200, 1500]
+        signal = synthetic_mwi(truth, peak_value=2000.0)
+        signal += synthetic_mwi([450, 750, 1050], peak_value=60.0)  # noise bumps
+        result = detect_peaks(signal)
+        assert result.peak_count == len(truth)
+        assert len(result.rejected_indices) >= 1
+
+    def test_threshold_trace_recorded(self):
+        result = detect_peaks(synthetic_mwi([300, 600, 900]))
+        assert len(result.threshold_trace) >= 3
+
+
+class TestAlignmentCheck:
+    def test_aligned_filtered_peak_accepted(self):
+        truth = [400, 800, 1200]
+        mwi = synthetic_mwi(truth)
+        filtered = synthetic_mwi([t - 10 for t in truth], peak_value=1500.0)
+        result = detect_peaks(mwi, filtered)
+        assert result.peak_count == len(truth)
+        assert result.misaligned_indices == []
+
+    def test_misaligned_candidate_rejected(self):
+        # The filtered signal has its peaks far away from the MWI bumps, so
+        # the alignment check must discard the candidates (Fig. 13 mechanism).
+        mwi = synthetic_mwi([400, 800, 1200])
+        filtered = synthetic_mwi([100, 1700], peak_value=1500.0)
+        config = PeakDetectionConfig(alignment_tolerance_samples=20,
+                                     search_window_samples=10)
+        result = detect_peaks(mwi, filtered, config)
+        assert len(result.misaligned_indices) >= 1
+        assert result.peak_count < 3
+
+    def test_without_filtered_signal_check_is_disabled(self):
+        mwi = synthetic_mwi([400, 800, 1200])
+        result = detect_peaks(mwi, None)
+        assert result.peak_count == 3
+
+
+class TestConfig:
+    def test_defaults_are_200hz_parameters(self):
+        config = PeakDetectionConfig()
+        assert config.refractory_samples == 40  # 200 ms at 200 Hz
+        assert 0 < config.threshold_fraction < 1
+
+    def test_custom_refractory(self):
+        truth = list(range(100, 1900, 60))  # unphysiologically fast
+        config = PeakDetectionConfig(refractory_samples=10)
+        result = detect_peaks(synthetic_mwi(truth, width=6), config=config)
+        # With a tiny refractory period most bumps are individually resolved.
+        assert result.peak_count > len(truth) // 2

@@ -1,0 +1,92 @@
+"""Unit tests for the fixed-point helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsp.fixed_point import (
+    coefficient_headroom_bits,
+    dequantize,
+    quantize_coefficients,
+    quantize_value,
+    rescale,
+    saturate,
+)
+
+
+class TestQuantizeValue:
+    def test_half_at_eight_fractional_bits(self):
+        assert quantize_value(0.5, 8) == 128
+
+    def test_rounding_to_nearest(self):
+        assert quantize_value(0.0039, 8) == 1  # 0.998 LSB rounds to 1
+        assert quantize_value(0.0019, 8) == 0
+
+    def test_negative_values(self):
+        assert quantize_value(-0.5, 8) == -128
+
+    def test_saturation_at_word_limits(self):
+        assert quantize_value(10.0, 14, width=16) == 32767
+        assert quantize_value(-10.0, 14, width=16) == -32768
+
+    @given(st.floats(min_value=-1.0, max_value=1.0), st.integers(4, 14))
+    def test_quantisation_error_below_one_lsb(self, value, frac_bits):
+        quantised = quantize_value(value, frac_bits)
+        assert abs(quantised / (1 << frac_bits) - value) <= 1.0 / (1 << frac_bits)
+
+
+class TestQuantizeCoefficients:
+    def test_vector_quantisation(self):
+        coefficients = [0.25, -0.125, 1.0]
+        result = quantize_coefficients(coefficients, 4)
+        assert list(result) == [4, -2, 16]
+
+    def test_dequantize_roundtrip(self):
+        coefficients = [0.25, -0.125, 0.5]
+        quantised = quantize_coefficients(coefficients, 10)
+        recovered = dequantize(quantised, 10)
+        np.testing.assert_allclose(recovered, coefficients, atol=1e-3)
+
+
+class TestSaturate:
+    def test_within_range_untouched(self):
+        values = np.array([-100, 0, 100])
+        np.testing.assert_array_equal(saturate(values, 16), values)
+
+    def test_clipping(self):
+        values = np.array([40000, -40000])
+        assert list(saturate(values, 16)) == [32767, -32768]
+
+
+class TestRescale:
+    def test_right_shift(self):
+        assert list(rescale(np.array([1024, 2048]), 10)) == [1, 2]
+
+    def test_floor_behaviour_for_negative_values(self):
+        # Arithmetic shift floors towards negative infinity (hardware shift).
+        assert rescale(np.array([-1]), 1)[0] == -1
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            rescale(np.array([1]), -1)
+
+
+class TestCoefficientHeadroom:
+    def test_unity_gain_filter_gets_full_precision(self):
+        coefficients = [0.1] * 10  # gain 1.0
+        assert coefficient_headroom_bits(coefficients) >= 13
+
+    def test_high_gain_filter_gets_fewer_bits(self):
+        low_gain = coefficient_headroom_bits([0.1] * 10)
+        high_gain = coefficient_headroom_bits([1.0] * 10)
+        assert high_gain < low_gain
+
+    def test_zero_coefficients(self):
+        assert coefficient_headroom_bits([0.0, 0.0]) == 15
+
+    def test_accumulator_never_overflows_with_returned_bits(self):
+        coefficients = [0.3, -0.5, 0.7, 0.2]
+        frac_bits = coefficient_headroom_bits(coefficients)
+        worst_case = sum(abs(c) for c in coefficients) * (2**15) * (2**frac_bits)
+        assert worst_case < 2**31

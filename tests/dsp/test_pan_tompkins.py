@@ -1,0 +1,140 @@
+"""Integration tests for the full Pan-Tompkins pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import ArithmeticBackend, accurate_backend
+from repro.dsp import (
+    PanTompkinsPipeline,
+    STAGE_NAMES,
+    total_group_delay_samples,
+)
+from repro.metrics import match_peaks
+from repro.signals import load_record
+
+
+class TestAccuratePipeline:
+    def test_detects_every_annotated_beat(self, short_record):
+        result = PanTompkinsPipeline().process(short_record.samples)
+        matching = match_peaks(
+            short_record.r_peak_indices,
+            result.peak_indices,
+            tolerance_samples=40,
+            expected_delay_samples=total_group_delay_samples(),
+        )
+        assert matching.sensitivity == 1.0
+        assert matching.positive_predictivity == 1.0
+
+    def test_detects_beats_on_a_second_record(self, second_record):
+        result = PanTompkinsPipeline().process(second_record.samples)
+        matching = match_peaks(
+            second_record.r_peak_indices,
+            result.peak_indices,
+            tolerance_samples=40,
+            expected_delay_samples=total_group_delay_samples(),
+        )
+        assert matching.sensitivity == 1.0
+
+    def test_all_stage_outputs_present_and_same_length(self, short_record):
+        result = PanTompkinsPipeline().process(short_record.samples)
+        for name in STAGE_NAMES:
+            assert name in result.stage_outputs
+            assert result.stage_outputs[name].size == short_record.samples.size
+
+    def test_stage_outputs_fit_in_16_bits(self, short_record):
+        result = PanTompkinsPipeline().process(short_record.samples)
+        for name, output in result.stage_outputs.items():
+            assert output.max() <= 32767, name
+            assert output.min() >= -32768, name
+
+    def test_mwi_output_non_negative(self, short_record):
+        result = PanTompkinsPipeline().process(short_record.samples)
+        assert result.integrated.min() >= 0
+
+    def test_heart_rate_close_to_ground_truth(self, short_record):
+        result = PanTompkinsPipeline().process(short_record.samples)
+        truth = short_record.mean_heart_rate_bpm()
+        assert abs(result.heart_rate_bpm() - truth) < 8.0
+
+    def test_result_accessors(self, short_record):
+        result = PanTompkinsPipeline().process(short_record.samples)
+        assert result.peak_count == len(result.peak_indices)
+        assert result.preprocessed is result.stage_outputs["high_pass"]
+        assert result.integrated is result.stage_outputs["moving_window_integral"]
+
+
+class TestApproximatePipeline:
+    def test_single_backend_applies_to_all_stages(self, short_record):
+        backend = ArithmeticBackend(approx_lsbs=2, adder_cell="ApproxAdd5",
+                                    multiplier_cell="AppMultV1")
+        pipeline = PanTompkinsPipeline(backends=backend)
+        description = pipeline.describe()
+        assert all("2 LSBs" in text for text in description.values())
+
+    def test_mild_approximation_keeps_all_beats(self, short_record):
+        backend = ArithmeticBackend(approx_lsbs=4, adder_cell="ApproxAdd5",
+                                    multiplier_cell="AppMultV1")
+        result = PanTompkinsPipeline(backends=backend).process(short_record.samples)
+        matching = match_peaks(
+            short_record.r_peak_indices,
+            result.peak_indices,
+            tolerance_samples=40,
+            expected_delay_samples=total_group_delay_samples(),
+        )
+        assert matching.sensitivity == 1.0
+
+    def test_extreme_approximation_destroys_detection(self, short_record):
+        backend = ArithmeticBackend(approx_lsbs=16, adder_cell="ApproxAdd5",
+                                    multiplier_cell="AppMultV1")
+        result = PanTompkinsPipeline(backends=backend).process(short_record.samples)
+        matching = match_peaks(
+            short_record.r_peak_indices,
+            result.peak_indices,
+            tolerance_samples=40,
+            expected_delay_samples=total_group_delay_samples(),
+        )
+        assert matching.sensitivity < 1.0
+
+    def test_per_stage_backends_by_alias(self, short_record):
+        backend = ArithmeticBackend(approx_lsbs=6, adder_cell="ApproxAdd5",
+                                    multiplier_cell="AppMultV1")
+        pipeline = PanTompkinsPipeline(backends={"lpf": backend})
+        assert pipeline.backend_for("low_pass") is backend
+        assert pipeline.backend_for("high_pass").is_accurate
+
+    def test_approximation_error_grows_with_lsbs(self, short_record):
+        reference = PanTompkinsPipeline().process(short_record.samples)
+        errors = []
+        for k in (2, 6, 10):
+            backend = ArithmeticBackend(approx_lsbs=k, adder_cell="ApproxAdd5",
+                                        multiplier_cell="AppMultV1")
+            result = PanTompkinsPipeline(backends={"hpf": backend}).process(
+                short_record.samples
+            )
+            errors.append(
+                float(np.mean(np.abs(result.preprocessed - reference.preprocessed)))
+            )
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_accurate_backend_object_equivalent_to_none(self, short_record):
+        by_none = PanTompkinsPipeline().process(short_record.samples)
+        by_obj = PanTompkinsPipeline(backends=accurate_backend()).process(
+            short_record.samples
+        )
+        np.testing.assert_array_equal(by_none.preprocessed, by_obj.preprocessed)
+        assert by_none.peak_count == by_obj.peak_count
+
+
+class TestInputValidation:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            PanTompkinsPipeline().process(np.array([], dtype=np.int64))
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            PanTompkinsPipeline().process(np.zeros((10, 2), dtype=np.int64))
+
+    def test_process_stage_runs_single_stage(self, short_record):
+        pipeline = PanTompkinsPipeline()
+        output = pipeline.process_stage(short_record.samples, "lpf")
+        assert output.size == short_record.samples.size

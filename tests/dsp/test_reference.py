@@ -1,0 +1,57 @@
+"""Tests for the floating-point reference pipeline and its agreement with the
+fixed-point hardware model."""
+
+import numpy as np
+
+from repro.dsp import (
+    PanTompkinsPipeline,
+    pan_tompkins_stages,
+    reference_pipeline,
+    reference_stage_output,
+)
+
+
+class TestReferencePipeline:
+    def test_all_stage_outputs_present(self, short_record):
+        result = reference_pipeline(short_record.samples)
+        assert set(result.stage_outputs) == {s.name for s in pan_tompkins_stages()}
+
+    def test_outputs_same_length_as_input(self, short_record):
+        result = reference_pipeline(short_record.samples)
+        for output in result.stage_outputs.values():
+            assert output.size == short_record.samples.size
+
+    def test_mwi_output_non_negative(self, short_record):
+        result = reference_pipeline(short_record.samples)
+        assert result.integrated.min() >= -1e-9
+
+    def test_accessors(self, short_record):
+        result = reference_pipeline(short_record.samples)
+        assert result.preprocessed is result.stage_outputs["high_pass"]
+
+
+class TestFixedPointAgreement:
+    def test_hardware_model_tracks_reference_preprocessing(self, short_record):
+        """The integer datapath should track the float reference closely
+        (quantisation error only) through the two pre-processing filters."""
+        hardware = PanTompkinsPipeline().process(short_record.samples)
+        reference = reference_pipeline(short_record.samples)
+
+        hw = hardware.preprocessed.astype(np.float64)
+        ref = np.clip(reference.preprocessed, -32768, 32767)
+        # Normalised RMS error below a few percent of the signal RMS.
+        rms_signal = np.sqrt(np.mean(ref**2))
+        rms_error = np.sqrt(np.mean((hw - ref) ** 2))
+        assert rms_error < 0.05 * rms_signal
+
+    def test_stage_by_stage_correlation(self, short_record):
+        hardware = PanTompkinsPipeline().process(short_record.samples)
+        signal = short_record.samples.astype(np.float64)
+        for stage in pan_tompkins_stages():
+            signal = reference_stage_output(signal, stage)
+            hw = hardware.stage_outputs[stage.name].astype(np.float64)
+            ref = np.clip(signal, -32768, 32767)
+            if np.std(hw) == 0 or np.std(ref) == 0:
+                continue
+            correlation = np.corrcoef(hw, ref)[0, 1]
+            assert correlation > 0.95, stage.name

@@ -1,0 +1,91 @@
+"""Unit tests for the peak-matching quality metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.peaks import count_accuracy, match_peaks, peak_detection_accuracy
+
+
+class TestMatchPeaks:
+    def test_perfect_detection(self):
+        truth = [100, 300, 500]
+        result = match_peaks(truth, truth)
+        assert result.true_positives == 3
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+        assert result.sensitivity == 1.0
+        assert result.positive_predictivity == 1.0
+        assert result.f1_score == 1.0
+
+    def test_detection_within_tolerance(self):
+        truth = [100, 300, 500]
+        detected = [110, 290, 512]
+        result = match_peaks(truth, detected, tolerance_samples=15)
+        assert result.sensitivity == 1.0
+
+    def test_detection_outside_tolerance_counts_both_ways(self):
+        truth = [100]
+        detected = [200]
+        result = match_peaks(truth, detected, tolerance_samples=20)
+        assert result.false_negatives == 1
+        assert result.false_positives == 1
+
+    def test_missed_beat(self):
+        result = match_peaks([100, 300, 500], [100, 500])
+        assert result.false_negatives == 1
+        assert result.sensitivity == pytest.approx(2 / 3)
+
+    def test_extra_detection(self):
+        result = match_peaks([100, 300], [100, 200, 300])
+        assert result.false_positives == 1
+        assert result.positive_predictivity == pytest.approx(2 / 3)
+
+    def test_delay_compensation(self):
+        truth = [100, 300, 500]
+        detected = [137, 337, 537]  # pipeline group delay of 37 samples
+        raw = match_peaks(truth, detected, tolerance_samples=10)
+        compensated = match_peaks(truth, detected, tolerance_samples=10,
+                                  expected_delay_samples=37.0)
+        assert raw.sensitivity < 1.0
+        assert compensated.sensitivity == 1.0
+        assert compensated.mean_offset_samples == pytest.approx(0.0)
+
+    def test_each_truth_matched_at_most_once(self):
+        # Two detections near one annotation: only one can be a true positive.
+        result = match_peaks([100], [95, 105], tolerance_samples=20)
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+
+    def test_empty_truth(self):
+        result = match_peaks([], [100, 200])
+        assert result.sensitivity == 0.0
+        assert result.false_positives == 2
+
+    def test_empty_detection(self):
+        result = match_peaks([100, 200], [])
+        assert result.sensitivity == 0.0
+        assert result.false_negatives == 2
+
+    @given(st.lists(st.integers(0, 10000), min_size=1, max_size=30, unique=True))
+    @settings(max_examples=30)
+    def test_self_match_is_always_perfect(self, truth):
+        result = match_peaks(truth, truth)
+        assert result.sensitivity == 1.0
+        assert result.false_positives == 0
+
+
+class TestAccuracyHelpers:
+    def test_peak_detection_accuracy_shortcut(self):
+        assert peak_detection_accuracy([10, 20, 30], [10, 20, 30]) == 1.0
+        assert peak_detection_accuracy([10, 20, 30], [10]) == pytest.approx(1 / 3)
+
+    def test_count_accuracy(self):
+        assert count_accuracy(10, 10) == 1.0
+        assert count_accuracy(10, 9) == pytest.approx(0.9)
+        assert count_accuracy(10, 11) == pytest.approx(0.9)
+        assert count_accuracy(10, 0) == 0.0
+
+    def test_count_accuracy_zero_truth(self):
+        assert count_accuracy(0, 0) == 1.0
+        assert count_accuracy(0, 3) == 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for PSNR, SSIM and the arithmetic error statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ErrorStatistics,
+    error_statistics,
+    exhaustive_operand_pairs,
+    mse,
+    psnr,
+    rmse,
+    snr,
+    ssim,
+    ssim_map,
+)
+
+
+class TestPsnrFamily:
+    def test_identical_signals_have_infinite_psnr(self):
+        signal = np.sin(np.linspace(0, 10, 500))
+        assert psnr(signal, signal) == float("inf")
+        assert snr(signal, signal) == float("inf")
+
+    def test_mse_and_rmse(self):
+        reference = np.array([0.0, 0.0, 0.0, 0.0])
+        test = np.array([1.0, -1.0, 1.0, -1.0])
+        assert mse(reference, test) == 1.0
+        assert rmse(reference, test) == 1.0
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        reference = np.sin(np.linspace(0, 20, 2000))
+        small = reference + 0.01 * rng.standard_normal(2000)
+        large = reference + 0.2 * rng.standard_normal(2000)
+        assert psnr(reference, small) > psnr(reference, large)
+
+    def test_known_psnr_value(self):
+        reference = np.zeros(100)
+        reference[0] = 1.0  # dynamic range 1.0
+        test = reference + 0.1
+        expected = 10 * np.log10(1.0 / 0.01)
+        assert psnr(reference, test) == pytest.approx(expected, abs=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros(4), np.zeros(5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(0), np.zeros(0))
+
+    def test_explicit_peak(self):
+        reference = np.zeros(10)
+        test = np.full(10, 2.0)
+        assert psnr(reference, test, peak=4.0) == pytest.approx(10 * np.log10(16 / 4))
+
+    @given(st.floats(0.001, 0.5))
+    @settings(max_examples=20)
+    def test_psnr_monotone_in_error_amplitude(self, amplitude):
+        reference = np.sin(np.linspace(0, 20, 500))
+        noisy = reference + amplitude
+        noisier = reference + 2 * amplitude
+        assert psnr(reference, noisy) > psnr(reference, noisier)
+
+
+class TestSsim:
+    def test_identical_signals_score_one(self):
+        signal = np.sin(np.linspace(0, 10, 1000))
+        assert ssim(signal, signal) == pytest.approx(1.0, abs=1e-9)
+
+    def test_uncorrelated_noise_scores_low(self):
+        rng = np.random.default_rng(1)
+        reference = np.sin(np.linspace(0, 30, 2000))
+        garbage = rng.standard_normal(2000)
+        assert ssim(reference, garbage) < 0.3
+
+    def test_monotone_degradation(self):
+        rng = np.random.default_rng(2)
+        reference = np.sin(np.linspace(0, 30, 2000))
+        mild = reference + 0.05 * rng.standard_normal(2000)
+        severe = reference + 0.8 * rng.standard_normal(2000)
+        assert ssim(reference, mild) > ssim(reference, severe)
+
+    def test_map_shape_and_range(self):
+        reference = np.sin(np.linspace(0, 10, 500))
+        test = reference + 0.1
+        values = ssim_map(reference, test)
+        assert values.shape == reference.shape
+        assert np.all(values <= 1.0 + 1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros(5), np.zeros(6))
+
+    def test_constant_signals(self):
+        assert ssim(np.full(100, 3.0), np.full(100, 3.0)) == pytest.approx(1.0)
+
+
+class TestErrorStatistics:
+    def test_exact_operator_has_zero_errors(self):
+        stats = error_statistics(
+            lambda a, b: a + b, lambda a, b: a + b, exhaustive_operand_pairs(4)
+        )
+        assert stats.error_rate == 0.0
+        assert stats.mean_error_distance == 0.0
+        assert stats.worst_case_error == 0
+
+    def test_biased_operator_statistics(self):
+        stats = error_statistics(
+            lambda a, b: a + b + 1, lambda a, b: a + b, exhaustive_operand_pairs(3)
+        )
+        assert stats.error_rate == 1.0
+        assert stats.mean_error_distance == 1.0
+        assert stats.worst_case_error == 1
+
+    def test_sample_count(self):
+        stats = error_statistics(
+            lambda a, b: a * b, lambda a, b: a * b, exhaustive_operand_pairs(2)
+        )
+        assert stats.sample_count == 16
+
+    def test_signed_operand_generation(self):
+        pairs = list(exhaustive_operand_pairs(2, signed=True))
+        assert (-2, -2) in pairs and (1, 1) in pairs
+        assert len(pairs) == 16
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            error_statistics(lambda a, b: a, lambda a, b: a, [])
+
+    def test_is_dataclass_with_readable_str(self):
+        stats = ErrorStatistics(0.5, 1.0, 0.1, 3, 16)
+        assert "MED" in str(stats)

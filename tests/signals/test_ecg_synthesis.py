@@ -1,0 +1,78 @@
+"""Unit tests for the synthetic ECG generator."""
+
+import numpy as np
+import pytest
+
+from repro.signals.ecg_synthesis import (
+    BeatMorphology,
+    WaveParameters,
+    synthesize_ecg,
+)
+
+
+class TestSynthesizeEcg:
+    def test_duration_and_sampling(self):
+        ecg = synthesize_ecg(duration_s=10.0, sample_rate_hz=200, seed=1)
+        assert ecg.signal_mv.size == 2000
+        assert ecg.sample_rate_hz == 200
+        assert abs(ecg.duration_s - 10.0) < 1e-9
+
+    def test_beat_count_matches_heart_rate(self):
+        ecg = synthesize_ecg(duration_s=60.0, heart_rate_bpm=72.0,
+                             heart_rate_std_bpm=0.5, seed=2)
+        assert 65 <= ecg.beat_count <= 75
+
+    def test_r_peaks_are_local_maxima(self):
+        ecg = synthesize_ecg(duration_s=10.0, seed=3, heart_rate_std_bpm=0.0)
+        for r in ecg.r_peak_indices:
+            lo, hi = max(0, r - 10), min(ecg.signal_mv.size, r + 11)
+            assert ecg.signal_mv[r] >= 0.95 * ecg.signal_mv[lo:hi].max()
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_ecg(duration_s=5.0, seed=42)
+        b = synthesize_ecg(duration_s=5.0, seed=42)
+        np.testing.assert_array_equal(a.signal_mv, b.signal_mv)
+        np.testing.assert_array_equal(a.r_peak_indices, b.r_peak_indices)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_ecg(duration_s=5.0, seed=1)
+        b = synthesize_ecg(duration_s=5.0, seed=2)
+        assert not np.array_equal(a.signal_mv, b.signal_mv)
+
+    def test_amplitude_in_physiological_range(self):
+        ecg = synthesize_ecg(duration_s=10.0, seed=4)
+        assert 0.8 < ecg.signal_mv.max() < 2.5  # R peaks ~1.2 mV
+        assert ecg.signal_mv.min() > -1.0
+
+    def test_mean_rr_interval(self):
+        ecg = synthesize_ecg(duration_s=30.0, heart_rate_bpm=60.0,
+                             heart_rate_std_bpm=0.5, seed=5)
+        assert abs(ecg.mean_rr_interval_s() - 1.0) < 0.05
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_ecg(duration_s=0.0)
+
+    def test_unphysiological_heart_rate_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_ecg(duration_s=5.0, heart_rate_bpm=400.0)
+
+
+class TestMorphology:
+    def test_scaled_morphology_scales_amplitudes(self):
+        base = BeatMorphology()
+        scaled = base.scaled(2.0)
+        assert scaled.r_wave.amplitude_mv == pytest.approx(2 * base.r_wave.amplitude_mv)
+        assert scaled.r_wave.width_s == base.r_wave.width_s
+
+    def test_custom_morphology_changes_signal(self):
+        tall = BeatMorphology(r_wave=WaveParameters(2.0, 0.0, 0.011))
+        a = synthesize_ecg(duration_s=5.0, seed=7)
+        b = synthesize_ecg(duration_s=5.0, seed=7, morphology=tall)
+        assert b.signal_mv.max() > a.signal_mv.max()
+
+    def test_waves_order(self):
+        waves = BeatMorphology().waves()
+        assert len(waves) == 5
+        # P before Q/R, T after S.
+        assert waves[0].center_s < waves[2].center_s < waves[4].center_s

@@ -1,0 +1,130 @@
+"""Unit tests for the noise models, ADC front-end and the record registry."""
+
+import numpy as np
+import pytest
+
+from repro.signals.adc import ADCConfig, digitize, to_millivolts
+from repro.signals.ecg_synthesis import synthesize_ecg
+from repro.signals.noise import (
+    NoiseProfile,
+    apply_noise,
+    baseline_wander,
+    muscle_noise,
+    powerline_interference,
+)
+from repro.signals.records import (
+    NSRDB_RECORD_NAMES,
+    RecordSpec,
+    list_records,
+    load_record,
+    load_records,
+)
+
+
+class TestNoiseModels:
+    def test_baseline_wander_is_low_frequency(self):
+        rng = np.random.default_rng(0)
+        drift = baseline_wander(4000, 200, amplitude_mv=0.1, rng=rng)
+        spectrum = np.abs(np.fft.rfft(drift))
+        freqs = np.fft.rfftfreq(4000, d=1 / 200)
+        dominant = freqs[np.argmax(spectrum[1:]) + 1]
+        assert dominant < 1.0
+
+    def test_powerline_is_at_mains_frequency(self):
+        rng = np.random.default_rng(1)
+        hum = powerline_interference(4000, 200, amplitude_mv=0.05, rng=rng)
+        spectrum = np.abs(np.fft.rfft(hum))
+        freqs = np.fft.rfftfreq(4000, d=1 / 200)
+        assert abs(freqs[np.argmax(spectrum[1:]) + 1] - 50.0) < 0.5
+
+    def test_muscle_noise_rms(self):
+        rng = np.random.default_rng(2)
+        noise = muscle_noise(20000, rms_mv=0.03, rng=rng)
+        assert abs(np.std(noise) - 0.03) < 0.005
+
+    def test_apply_noise_is_deterministic_with_seed(self):
+        clean = synthesize_ecg(5.0, seed=3).signal_mv
+        a = apply_noise(clean, 200, seed=9)
+        b = apply_noise(clean, 200, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_quiet_profile_reduces_noise_power(self):
+        clean = synthesize_ecg(5.0, seed=3).signal_mv
+        loud = apply_noise(clean, 200, NoiseProfile(), seed=4) - clean
+        quiet = apply_noise(clean, 200, NoiseProfile().quiet(), seed=4) - clean
+        assert np.std(quiet) < np.std(loud)
+
+
+class TestADC:
+    def test_counts_per_mv(self):
+        config = ADCConfig(resolution_bits=16, full_scale_mv=2.5)
+        assert config.counts_per_mv == pytest.approx(32768 / 2.5)
+
+    def test_roundtrip_within_one_lsb(self):
+        config = ADCConfig()
+        signal = np.linspace(-1.5, 1.5, 1000)
+        recovered = to_millivolts(digitize(signal, config), config)
+        assert np.abs(recovered - signal).max() <= 1.0 / config.counts_per_mv
+
+    def test_saturation_at_rails(self):
+        config = ADCConfig(full_scale_mv=2.0)
+        codes = digitize(np.array([10.0, -10.0]), config)
+        assert codes[0] == config.max_count
+        assert codes[1] == config.min_count
+
+    def test_output_is_integer_typed(self):
+        codes = digitize(np.array([0.5, -0.25]))
+        assert codes.dtype == np.int64
+
+
+class TestRecordRegistry:
+    def test_registry_lists_nsrdb_names(self):
+        names = list_records()
+        assert names == list(NSRDB_RECORD_NAMES)
+        assert "16265" in names
+
+    def test_record_is_deterministic(self):
+        a = load_record("16265", duration_s=5.0)
+        b = load_record("16265", duration_s=5.0)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        np.testing.assert_array_equal(a.r_peak_indices, b.r_peak_indices)
+
+    def test_different_records_differ(self):
+        a = load_record("16265", duration_s=5.0)
+        b = load_record("16272", duration_s=5.0)
+        assert not np.array_equal(a.samples, b.samples)
+        assert a.spec.heart_rate_bpm != b.spec.heart_rate_bpm
+
+    def test_record_metadata(self):
+        record = load_record("16483", duration_s=6.0)
+        assert record.duration_s == pytest.approx(6.0)
+        assert record.beat_count > 3
+        assert 40 < record.mean_heart_rate_bpm() < 120
+        assert record.samples.size == record.signal_mv.size
+
+    def test_annotations_within_record(self):
+        record = load_record("19830", duration_s=6.0)
+        assert record.r_peak_indices.min() >= 0
+        assert record.r_peak_indices.max() < record.samples.size
+
+    def test_clean_record_has_no_added_noise(self):
+        noisy = load_record("16265", duration_s=5.0, include_noise=True)
+        clean = load_record("16265", duration_s=5.0, include_noise=False)
+        assert np.std(noisy.signal_mv - noisy.clean_mv) > 0
+        np.testing.assert_array_equal(clean.signal_mv, clean.clean_mv)
+
+    def test_load_records_defaults(self):
+        records = load_records(duration_s=4.0)
+        assert len(records) == 4
+        for name, record in records.items():
+            assert record.name == name
+
+    def test_spec_is_derived_from_name(self):
+        spec_a = RecordSpec.for_name("16265")
+        spec_b = RecordSpec.for_name("16265")
+        assert spec_a == spec_b
+        assert 58.0 <= spec_a.heart_rate_bpm <= 92.0
+
+    def test_unknown_names_still_produce_valid_records(self):
+        record = load_record("custom-patient", duration_s=4.0)
+        assert record.beat_count >= 3
