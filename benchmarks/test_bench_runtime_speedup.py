@@ -1,0 +1,93 @@
+"""Runtime benchmark — serial vs parallel exploration wall-clock.
+
+Unlike the Fig. 11 benchmark (which *models* exploration time from evaluation
+counts), this module measures real wall-clock: the same pre-processing design
+grid is explored once through a serial runtime and once through a thread-pool
+runtime, and a third pass runs against the warm cache of the parallel run.
+The measured numbers are written to ``benchmarks/results/runtime_speedup.txt``
+next to the modeled serial cost (~300 s/evaluation) they replace.
+
+The parallel/serial ratio depends on the host (on a single-core container the
+pool cannot win), so the benchmark records the ratio instead of asserting it;
+correctness — identical results in identical order — is asserted always.
+"""
+
+import time
+
+from conftest import format_row, write_report
+
+from repro.core import measure_exploration, preprocessing_design_space
+from repro.runtime import ExplorationRuntime, MemoryResultCache
+
+#: 0, 8 and 16 LSBs per stage: a 3x3 grid keeps the benchmark a smoke test.
+GRID_LSB_STEP = 8
+
+
+def _explore(runtime):
+    space = preprocessing_design_space(lsb_step=GRID_LSB_STEP)
+    started = time.perf_counter()
+    evaluations = runtime.evaluate_many(list(space.designs()))
+    return evaluations, time.perf_counter() - started
+
+
+def test_runtime_speedup(benchmark, bench_record):
+    serial_runtime = ExplorationRuntime([bench_record], executor="serial")
+    serial_evaluations, serial_s = benchmark.pedantic(
+        _explore, args=(serial_runtime,), rounds=1, iterations=1
+    )
+
+    shared_cache = MemoryResultCache()
+    with ExplorationRuntime(
+        [bench_record], executor="thread", max_workers=4, cache=shared_cache
+    ) as parallel_runtime:
+        parallel_evaluations, parallel_s = _explore(parallel_runtime)
+
+    # Warm pass: fresh runtime, warm cache — no pipeline evaluations at all.
+    with ExplorationRuntime(
+        [bench_record], executor="thread", max_workers=4, cache=shared_cache
+    ) as warm_runtime:
+        warm_evaluations, warm_s = _explore(warm_runtime)
+
+    # Parallel and cached execution must be bit-identical to serial.
+    assert len(parallel_evaluations) == len(serial_evaluations)
+    for serial_e, parallel_e, warm_e in zip(
+        serial_evaluations, parallel_evaluations, warm_evaluations
+    ):
+        assert parallel_e.psnr_db == serial_e.psnr_db
+        assert parallel_e.peak_accuracy == serial_e.peak_accuracy
+        assert warm_e.psnr_db == serial_e.psnr_db
+    assert warm_runtime.evaluation_count == 0
+
+    measured = measure_exploration(
+        "grid (serial)", serial_runtime.evaluation_count, serial_s
+    )
+
+    widths = (18, 12, 12, 14, 12)
+    lines = [
+        "Serial vs parallel vs warm-cache exploration of the 3x3 grid",
+        "",
+        format_row(("strategy", "evaluated", "cache hits", "wall-clock[s]",
+                    "evals/s"), widths),
+    ]
+    for label, runtime, elapsed in (
+        ("serial", serial_runtime, serial_s),
+        ("thread x4", parallel_runtime, parallel_s),
+        ("warm cache", warm_runtime, warm_s),
+    ):
+        telemetry = runtime.telemetry
+        rate = telemetry.evaluations / elapsed if elapsed > 0 else 0.0
+        lines.append(
+            format_row((label, telemetry.evaluations, telemetry.cache_hits,
+                        elapsed, rate), widths)
+        )
+    lines += [
+        "",
+        f"parallel speedup over serial: x{serial_s / parallel_s:.2f}"
+        if parallel_s > 0 else "parallel speedup over serial: n/a",
+        f"warm-cache speedup over serial: x{serial_s / warm_s:.2f}"
+        if warm_s > 0 else "warm-cache speedup over serial: n/a",
+        f"modeled serial cost (paper, 300 s/evaluation): "
+        f"{measured.modeled_s:.0f} s",
+        f"measured vs modeled: {measured.summary()}",
+    ]
+    write_report("runtime_speedup", lines)

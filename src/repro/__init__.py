@@ -21,6 +21,9 @@ Subpackages
 ``repro.core``
     The XBioSiP methodology: two-stage quality evaluation, error-resilience
     analysis, the three-phase design generation methodology and baselines.
+``repro.runtime``
+    The parallel, cached design-space exploration engine plus the
+    ``python -m repro`` command-line interface.
 
 Quickstart
 ----------
@@ -28,6 +31,38 @@ Quickstart
 >>> records = [load_record("16265", duration_s=10.0)]
 >>> result = XBioSiP(records).run()
 >>> result.final_design.summary()  # doctest: +SKIP
+
+Parallel exploration
+--------------------
+Every exploration workload executes through an
+:class:`~repro.runtime.ExplorationRuntime`, which fans independent design
+evaluations out over a thread or process pool, memoises results in a
+content-addressed cache (in-memory, JSON directory or SQLite — the on-disk
+backends persist across runs and processes) and reports throughput / cache
+telemetry.  Results are deterministic: parallel runs are identical to serial
+ones, design for design.
+
+>>> from repro import ExplorationRuntime, XBioSiP, load_record
+>>> from repro.runtime import SQLiteResultCache
+>>> records = [load_record("16265", duration_s=10.0)]
+>>> runtime = ExplorationRuntime(  # doctest: +SKIP
+...     records,
+...     executor="process",
+...     max_workers=4,
+...     cache=SQLiteResultCache("xbiosip-cache.sqlite"),
+... )
+>>> with runtime:  # doctest: +SKIP
+...     result = XBioSiP(records, runtime=runtime).run()
+...     print(runtime.statistics().report())
+
+The same engine powers the command line::
+
+    python -m repro explore --records 16265 --workers 4 --cache cache.sqlite
+    python -m repro evaluate --config B9
+    python -m repro resilience --stages lpf,hpf
+
+See ``examples/parallel_exploration.py`` for a complete walk-through with a
+progress callback.
 """
 
 from .core import (
@@ -46,6 +81,7 @@ from .core import (
 )
 from .arithmetic import ArithmeticBackend, accurate_backend
 from .dsp import PanTompkinsPipeline, PanTompkinsResult
+from .runtime import ExplorationRuntime
 from .signals import load_record, load_records
 
 __version__ = "1.0.0"
@@ -53,6 +89,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ArithmeticBackend",
     "accurate_backend",
+    "ExplorationRuntime",
     "DesignEvaluation",
     "DesignEvaluator",
     "DesignPoint",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the exploration runtime's command-line interface."""
+
+import sys
+
+from .runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

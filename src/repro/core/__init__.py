@@ -29,9 +29,17 @@ from .design_space import (
 from .exploration_time import (
     ExplorationCostModel,
     ExplorationEstimate,
+    MeasuredExploration,
     PAPER_SECONDS_PER_EVALUATION,
     compare_strategies,
     estimate_exploration,
+    measure_exploration,
+)
+from .fingerprint import (
+    design_point_key,
+    evaluation_cache_key,
+    record_fingerprint,
+    workload_fingerprint,
 )
 from .methodology import (
     PREPROCESSING_STAGES,
@@ -47,6 +55,7 @@ from .quality import (
     FULL_ACCURACY_CONSTRAINT,
     PREPROCESSING_PSNR_CONSTRAINT,
     QualityConstraint,
+    run_design_evaluation,
 )
 from .resilience import (
     ResiliencePoint,
@@ -76,9 +85,15 @@ __all__ = [
     "signal_processing_design_space",
     "ExplorationCostModel",
     "ExplorationEstimate",
+    "MeasuredExploration",
     "PAPER_SECONDS_PER_EVALUATION",
     "compare_strategies",
     "estimate_exploration",
+    "measure_exploration",
+    "design_point_key",
+    "evaluation_cache_key",
+    "record_fingerprint",
+    "workload_fingerprint",
     "PREPROCESSING_STAGES",
     "SIGNAL_PROCESSING_STAGES",
     "XBioSiP",
@@ -92,6 +107,7 @@ __all__ = [
     "FULL_ACCURACY_CONSTRAINT",
     "PREPROCESSING_PSNR_CONSTRAINT",
     "QualityConstraint",
+    "run_design_evaluation",
     "ResiliencePoint",
     "StageResilienceProfile",
     "analyze_all_stages",

@@ -206,14 +206,20 @@ def exhaustive_search(
     Returns all evaluations; callers filter by the constraint or extract the
     Pareto front.  This is the baseline the paper's Table 2 grid corresponds
     to (81 designs for the pre-processing stages).
+
+    The grid points are independent, so they are submitted as one batch: a
+    parallel evaluator (:class:`repro.runtime.ExplorationRuntime`) spreads
+    them over its worker pool while the serial
+    :class:`~repro.core.quality.DesignEvaluator` runs them in order — either
+    way the results come back in enumeration order.
     """
-    evaluations: List[DesignEvaluation] = []
+    designs: List[DesignPoint] = []
     for index, design in enumerate(space.designs()):
         if limit is not None and index >= limit:
             break
-        evaluations.append(evaluator.evaluate(design))
+        designs.append(design)
     del constraint  # kept for signature symmetry with the guided searches
-    return evaluations
+    return list(evaluator.evaluate_many(designs))
 
 
 def heuristic_search(

@@ -1,0 +1,126 @@
+"""Stable content fingerprints for design points and evaluation workloads.
+
+Every caching layer in the reproduction — the in-memory cache of
+:class:`~repro.core.quality.DesignEvaluator` and the persistent caches of
+:mod:`repro.runtime.cache` — keys results by *content*, not by object
+identity.  A cached evaluation is only reusable when all of the following
+match:
+
+* the design point (per-stage LSB counts and elementary cells; the free-form
+  ``name``/``description`` labels are deliberately excluded),
+* the record set the design is evaluated on (names, sampling rates and the
+  actual sample/annotation data),
+* the evaluation parameters (peak-detection configuration, peak matching
+  tolerance), and
+* the library version (a pipeline change invalidates old results).
+
+The combination is collapsed into SHA-256 hex digests, so keys are portable
+across processes, evaluator instances and (via the on-disk caches) runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..signals.records import ECGRecord
+from .configurations import DesignPoint
+
+__all__ = [
+    "design_point_key",
+    "record_fingerprint",
+    "workload_fingerprint",
+    "evaluation_cache_key",
+    "library_version",
+]
+
+
+def library_version() -> str:
+    """Version of the repro library (part of every cache key)."""
+    # Imported lazily: ``repro.__version__`` is assigned after the subpackage
+    # imports in ``repro/__init__`` have run.
+    from .. import __version__
+
+    return __version__
+
+
+def _digest(payload: object) -> str:
+    """SHA-256 hex digest of a canonical-JSON rendering of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def design_point_key(design: DesignPoint) -> str:
+    """Content hash of a design point.
+
+    Two designs with the same per-stage settings hash identically even when
+    their ``name``/``description`` labels differ (the labels are cosmetic), and
+    stages left accurate (0 LSBs) do not contribute.
+    """
+    settings = sorted(
+        (s.stage, s.lsbs, s.adder, s.multiplier)
+        for s in design.stages
+        if s.lsbs > 0
+    )
+    return _digest(settings)
+
+
+def record_fingerprint(record: ECGRecord) -> str:
+    """Content hash of one record (name, rate, samples and annotations).
+
+    A self-describing JSON header carries every variable-length field's size
+    and dtype, so field boundaries are unambiguous: two records whose
+    concatenated bytes happen to coincide still hash differently.
+    """
+    header = json.dumps(
+        {
+            "name": record.name,
+            "sample_rate_hz": int(record.sample_rate_hz),
+            "samples": [str(record.samples.dtype), int(record.samples.size)],
+            "r_peaks": [
+                str(record.r_peak_indices.dtype),
+                int(record.r_peak_indices.size),
+            ],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    hasher = hashlib.sha256()
+    hasher.update(header.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(record.samples.tobytes())
+    hasher.update(b"\x00")
+    hasher.update(record.r_peak_indices.tobytes())
+    return hasher.hexdigest()
+
+
+def workload_fingerprint(
+    records: Sequence[ECGRecord],
+    detection_config: Optional[object] = None,
+    peak_tolerance_samples: int = 40,
+) -> str:
+    """Content hash of everything an evaluation depends on besides the design.
+
+    The record *order* is irrelevant (quality metrics are averaged), so the
+    per-record fingerprints are sorted before hashing.
+    """
+    if detection_config is None:
+        config_payload: object = None
+    elif is_dataclass(detection_config) and not isinstance(detection_config, type):
+        config_payload = asdict(detection_config)
+    else:  # pragma: no cover - defensive for exotic config objects
+        config_payload = repr(detection_config)
+    payload = {
+        "library": library_version(),
+        "records": sorted(record_fingerprint(record) for record in records),
+        "detection_config": config_payload,
+        "peak_tolerance_samples": int(peak_tolerance_samples),
+    }
+    return _digest(payload)
+
+
+def evaluation_cache_key(design: DesignPoint, workload: str) -> str:
+    """Cache key of one (design, workload) evaluation."""
+    return _digest({"design": design_point_key(design), "workload": workload})

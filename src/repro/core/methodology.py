@@ -18,15 +18,18 @@ with its quality figures, energy reduction and exploration statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..energy.synthesis import adders_by_energy, multipliers_by_energy
 from ..signals.records import ECGRecord
 from .configurations import DesignPoint
 from .design_generation import DesignGenerationResult, generate_design
+from .fingerprint import record_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->runtime cycle
+    from ..runtime.engine import ExplorationRuntime
 from .quality import (
     DesignEvaluation,
-    DesignEvaluator,
     FULL_ACCURACY_CONSTRAINT,
     PREPROCESSING_PSNR_CONSTRAINT,
     QualityConstraint,
@@ -93,6 +96,15 @@ class XBioSiP:
     adder_list / multiplier_list:
         Elementary cells to consider, most aggressive (least energy) first.
         Defaults to the paper's simplification: ApproxAdd5 and AppMultV1 only.
+    runtime:
+        The :class:`~repro.runtime.ExplorationRuntime` all design evaluations
+        execute through.  Defaults to a serial runtime over ``records``; pass
+        one configured with ``executor="thread"``/``"process"`` and a worker
+        count to parallelise the independent evaluations (the resilience
+        sweeps), and/or with a persistent cache to reuse results across runs.
+        Thanks to batch deduplication and content-addressed caching the
+        selected design and the evaluation counts are identical whichever
+        runtime configuration is used.
     """
 
     def __init__(
@@ -102,13 +114,30 @@ class XBioSiP:
         final_constraint: QualityConstraint = FULL_ACCURACY_CONSTRAINT,
         adder_list: Optional[Sequence[str]] = None,
         multiplier_list: Optional[Sequence[str]] = None,
+        runtime: Optional[ExplorationRuntime] = None,
     ) -> None:
         self.records = list(records)
         self.preprocessing_constraint = preprocessing_constraint
         self.final_constraint = final_constraint
         self.adder_list = list(adder_list) if adder_list else ["ApproxAdd5"]
         self.multiplier_list = list(multiplier_list) if multiplier_list else ["AppMultV1"]
-        self.evaluator = DesignEvaluator(self.records)
+        # Imported here, not at module level: repro.runtime builds on
+        # repro.core, so the default-runtime convenience must not create an
+        # import-time cycle between the two packages.
+        from ..runtime.engine import ExplorationRuntime
+
+        if runtime is None:
+            runtime = ExplorationRuntime(self.records, executor="serial")
+        elif sorted(record_fingerprint(r) for r in self.records) != sorted(
+            record_fingerprint(r) for r in runtime.records
+        ):
+            raise ValueError(
+                "the runtime was built over a different record set than the "
+                "one passed to XBioSiP; evaluations would run on the wrong "
+                "records"
+            )
+        self.runtime = runtime
+        self.evaluator = runtime
 
     # ------------------------------------------------------------ steps
     def library_energy_order(self) -> Dict[str, List[str]]:

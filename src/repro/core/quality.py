@@ -20,8 +20,8 @@ the benchmarks and the examples all consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, MutableMapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -33,11 +33,14 @@ from ..metrics.psnr import psnr
 from ..metrics.ssim import ssim
 from ..signals.records import ECGRecord
 from .configurations import DesignPoint
+from .fingerprint import evaluation_cache_key, workload_fingerprint
 
 __all__ = [
     "QualityConstraint",
     "DesignEvaluation",
     "DesignEvaluator",
+    "run_design_evaluation",
+    "relabel_evaluation",
     "PREPROCESSING_PSNR_CONSTRAINT",
     "FULL_ACCURACY_CONSTRAINT",
 ]
@@ -118,6 +121,75 @@ class DesignEvaluation:
         )
 
 
+def relabel_evaluation(
+    evaluation: DesignEvaluation, design: DesignPoint
+) -> DesignEvaluation:
+    """Return ``evaluation`` carrying ``design`` as its design point.
+
+    Cache keys deliberately ignore the cosmetic ``name``/``description``
+    labels, so a cache hit may return an evaluation computed for the same
+    settings under a different label.  Reports must show the label the caller
+    asked about, not the one that happened to fill the cache first.
+    """
+    if evaluation.design == design:
+        return evaluation
+    return replace(evaluation, design=design)
+
+
+def run_design_evaluation(
+    design: DesignPoint,
+    records: Sequence[ECGRecord],
+    accurate: Dict[str, PanTompkinsResult],
+    detection_config: Optional[PeakDetectionConfig] = None,
+    peak_tolerance_samples: int = 40,
+    expected_delay_samples: Optional[float] = None,
+) -> DesignEvaluation:
+    """Evaluate one design on a record set against precomputed accurate runs.
+
+    This is the pure computation behind :meth:`DesignEvaluator.evaluate` — no
+    caching, no counting, no shared mutable state — which makes it safe to
+    call concurrently from the worker pools of
+    :class:`repro.runtime.ExplorationRuntime`.
+    """
+    if expected_delay_samples is None:
+        expected_delay_samples = total_group_delay_samples()
+    pipeline = PanTompkinsPipeline(
+        backends=design.backends(), detection_config=detection_config
+    )
+
+    psnr_values: List[float] = []
+    ssim_values: List[float] = []
+    accuracies: Dict[str, float] = {}
+    detected_total = 0
+    true_total = 0
+
+    for record in records:
+        approx = pipeline.process(record.samples)
+        reference = accurate[record.name]
+        psnr_values.append(psnr(reference.preprocessed, approx.preprocessed))
+        ssim_values.append(ssim(reference.preprocessed, approx.preprocessed))
+        matching = match_peaks(
+            record.r_peak_indices,
+            approx.peak_indices,
+            tolerance_samples=peak_tolerance_samples,
+            expected_delay_samples=expected_delay_samples,
+        )
+        accuracies[record.name] = matching.detection_accuracy
+        detected_total += approx.peak_count
+        true_total += record.beat_count
+
+    return DesignEvaluation(
+        design=design,
+        psnr_db=float(np.mean([min(p, 120.0) for p in psnr_values])),
+        ssim_value=float(np.mean(ssim_values)),
+        peak_accuracy=float(np.mean(list(accuracies.values()))),
+        detected_peaks=detected_total,
+        true_peaks=true_total,
+        energy_reduction=design.energy_reduction(),
+        per_record_accuracy=accuracies,
+    )
+
+
 class DesignEvaluator:
     """Evaluates design points on a fixed set of records.
 
@@ -126,6 +198,13 @@ class DesignEvaluator:
     evaluator also counts how many designs it has been asked to evaluate,
     which is the statistic behind the paper's exploration-time comparison
     (Fig. 11).
+
+    Results are cached under the stable content keys of
+    :mod:`repro.core.fingerprint`, which cover the design settings *and* the
+    record set / evaluation parameters.  A cache mapping can therefore be
+    shared between evaluator instances (pass one via ``cache=``): entries
+    produced on a different record set or with different parameters can never
+    be confused, because their keys differ.
     """
 
     def __init__(
@@ -133,6 +212,7 @@ class DesignEvaluator:
         records: Union[ECGRecord, Sequence[ECGRecord]],
         detection_config: Optional[PeakDetectionConfig] = None,
         peak_tolerance_samples: int = 40,
+        cache: Optional[MutableMapping[str, DesignEvaluation]] = None,
     ) -> None:
         if isinstance(records, ECGRecord):
             records = [records]
@@ -144,10 +224,15 @@ class DesignEvaluator:
         self._delay = total_group_delay_samples()
         self._accurate: Dict[str, PanTompkinsResult] = {}
         self._evaluation_count = 0
-        self._cache: Dict[DesignPoint, DesignEvaluation] = {}
+        self._cache: MutableMapping[str, DesignEvaluation] = (
+            cache if cache is not None else {}
+        )
         for record in self.records:
             pipeline = PanTompkinsPipeline(detection_config=detection_config)
             self._accurate[record.name] = pipeline.process(record.samples)
+        self._workload = workload_fingerprint(
+            self.records, detection_config, peak_tolerance_samples
+        )
 
     # ------------------------------------------------------------ plumbing
     @property
@@ -159,6 +244,15 @@ class DesignEvaluator:
         """Reset the evaluation counter (the cache is kept)."""
         self._evaluation_count = 0
 
+    @property
+    def workload(self) -> str:
+        """Content fingerprint of the record set + evaluation parameters."""
+        return self._workload
+
+    def cache_key(self, design: DesignPoint) -> str:
+        """Portable cache key of ``design`` evaluated on this workload."""
+        return evaluation_cache_key(design, self._workload)
+
     def accurate_result(self, record: ECGRecord) -> PanTompkinsResult:
         """The cached accurate pipeline result for one of the records."""
         return self._accurate[record.name]
@@ -166,47 +260,23 @@ class DesignEvaluator:
     # ---------------------------------------------------------- evaluation
     def evaluate(self, design: DesignPoint, use_cache: bool = True) -> DesignEvaluation:
         """Run ``design`` on every record and aggregate the quality metrics."""
-        if use_cache and design in self._cache:
-            return self._cache[design]
+        key = self.cache_key(design)
+        if use_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return relabel_evaluation(cached, design)
 
         self._evaluation_count += 1
-        pipeline = PanTompkinsPipeline(
-            backends=design.backends(), detection_config=self.detection_config
-        )
-
-        psnr_values: List[float] = []
-        ssim_values: List[float] = []
-        accuracies: Dict[str, float] = {}
-        detected_total = 0
-        true_total = 0
-
-        for record in self.records:
-            approx = pipeline.process(record.samples)
-            reference = self._accurate[record.name]
-            psnr_values.append(psnr(reference.preprocessed, approx.preprocessed))
-            ssim_values.append(ssim(reference.preprocessed, approx.preprocessed))
-            matching = match_peaks(
-                record.r_peak_indices,
-                approx.peak_indices,
-                tolerance_samples=self.peak_tolerance_samples,
-                expected_delay_samples=self._delay,
-            )
-            accuracies[record.name] = matching.detection_accuracy
-            detected_total += approx.peak_count
-            true_total += record.beat_count
-
-        evaluation = DesignEvaluation(
-            design=design,
-            psnr_db=float(np.mean([min(p, 120.0) for p in psnr_values])),
-            ssim_value=float(np.mean(ssim_values)),
-            peak_accuracy=float(np.mean(list(accuracies.values()))),
-            detected_peaks=detected_total,
-            true_peaks=true_total,
-            energy_reduction=design.energy_reduction(),
-            per_record_accuracy=accuracies,
+        evaluation = run_design_evaluation(
+            design,
+            self.records,
+            self._accurate,
+            detection_config=self.detection_config,
+            peak_tolerance_samples=self.peak_tolerance_samples,
+            expected_delay_samples=self._delay,
         )
         if use_cache:
-            self._cache[design] = evaluation
+            self._cache[key] = evaluation
         return evaluation
 
     def evaluate_many(self, designs: Iterable[DesignPoint]) -> List[DesignEvaluation]:

@@ -140,16 +140,24 @@ def analyze_stage_resilience(
     profile = StageResilienceProfile(
         stage=definition.name, adder=adder, multiplier=multiplier
     )
+    # Sweep points are independent, so they are submitted as one batch: a
+    # parallel evaluator (repro.runtime.ExplorationRuntime) fans them out over
+    # its worker pool, while the serial DesignEvaluator runs them in order —
+    # both return results in sweep order.
+    designs = []
     for lsbs in lsb_values:
         if lsbs < 0:
             raise ValueError(f"negative LSB count {lsbs} in sweep for {stage}")
-        design = DesignPoint(
-            stages=(StageApproximation(definition.name, lsbs, adder, multiplier),)
-            if lsbs > 0
-            else (),
-            name=f"{definition.name}@{lsbs}",
+        designs.append(
+            DesignPoint(
+                stages=(StageApproximation(definition.name, lsbs, adder, multiplier),)
+                if lsbs > 0
+                else (),
+                name=f"{definition.name}@{lsbs}",
+            )
         )
-        evaluation = evaluator.evaluate(design)
+    evaluations = evaluator.evaluate_many(designs)
+    for lsbs, evaluation in zip(lsb_values, evaluations):
         reductions = stage_reduction(definition.name, lsbs, adder, multiplier)
         profile.points.append(
             ResiliencePoint(

@@ -1,0 +1,57 @@
+"""Parallel, cached design-space exploration runtime.
+
+This package is the execution layer of the reproduction: every exploration
+and evaluation workload — the XBioSiP methodology, the exhaustive/heuristic
+baselines, the error-resilience sweeps and the ``python -m repro`` CLI — runs
+its design-point evaluations through an :class:`ExplorationRuntime`, which
+adds worker-pool parallelism, persistent content-addressed result caching and
+progress/throughput telemetry on top of the serial
+:class:`~repro.core.quality.DesignEvaluator` semantics (and is a drop-in
+replacement for it).
+
+Modules
+-------
+``repro.runtime.engine``
+    The :class:`ExplorationRuntime` itself (serial / thread / process
+    executors, deterministic ordering, batch deduplication).
+``repro.runtime.cache``
+    Result cache backends: in-memory LRU, JSON-per-entry directory and
+    SQLite, all checksummed with corruption detection and hit/miss/eviction
+    statistics.
+``repro.runtime.chunking``
+    The batching policy used to split work across the pool.
+``repro.runtime.telemetry``
+    Progress events and aggregate throughput / cache telemetry.
+``repro.runtime.cli``
+    The ``python -m repro`` command-line interface (``explore``,
+    ``evaluate``, ``resilience``).
+"""
+
+from .cache import (
+    CacheStats,
+    JSONDirectoryCache,
+    MemoryResultCache,
+    ResultCache,
+    SQLiteResultCache,
+    open_cache,
+)
+from .chunking import ChunkPolicy, chunked
+from .engine import EXECUTOR_KINDS, ExplorationRuntime, RuntimeStatistics
+from .telemetry import ProgressEvent, ProgressLog, RuntimeTelemetry
+
+__all__ = [
+    "CacheStats",
+    "JSONDirectoryCache",
+    "MemoryResultCache",
+    "ResultCache",
+    "SQLiteResultCache",
+    "open_cache",
+    "ChunkPolicy",
+    "chunked",
+    "EXECUTOR_KINDS",
+    "ExplorationRuntime",
+    "RuntimeStatistics",
+    "ProgressEvent",
+    "ProgressLog",
+    "RuntimeTelemetry",
+]

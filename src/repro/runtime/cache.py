@@ -1,0 +1,381 @@
+"""Persistent, content-addressed result caches for the exploration runtime.
+
+Design evaluations are expensive (one approximate pipeline run per record),
+deterministic and keyed by content (:mod:`repro.core.fingerprint`), which
+makes them ideal cache citizens.  This module provides three interchangeable
+backends behind the :class:`ResultCache` interface:
+
+* :class:`MemoryResultCache` — in-process LRU cache (optionally bounded, with
+  eviction accounting).
+* :class:`JSONDirectoryCache` — one JSON file per entry inside a cache
+  directory; human-inspectable, trivially mergeable between machines.
+* :class:`SQLiteResultCache` — a single SQLite database file; the right
+  choice when many processes or runs share one cache.
+
+Every persisted entry embeds a SHA-256 checksum of its payload.  A corrupted
+entry (truncated file, bit rot, concurrent writer crash, schema drift) is
+detected on read, counted in :attr:`CacheStats.corrupt`, dropped from the
+backend and reported as a miss — the runtime then simply recomputes it.
+
+All caches also implement the mutable-mapping subset used by
+:class:`~repro.core.quality.DesignEvaluator` (``in`` / ``[]``), so a
+persistent cache can be plugged straight into an evaluator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..core.configurations import DesignPoint, StageApproximation
+from ..core.quality import DesignEvaluation
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "MemoryResultCache",
+    "JSONDirectoryCache",
+    "SQLiteResultCache",
+    "open_cache",
+    "serialize_evaluation",
+    "deserialize_evaluation",
+]
+
+
+# --------------------------------------------------------------- statistics
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (telemetry / CLI reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate,
+        }
+
+
+# ------------------------------------------------------------ serialization
+def serialize_evaluation(evaluation: DesignEvaluation) -> Dict[str, object]:
+    """JSON-serialisable rendering of one :class:`DesignEvaluation`."""
+    return {
+        "design": {
+            "name": evaluation.design.name,
+            "description": evaluation.design.description,
+            "stages": [
+                {
+                    "stage": s.stage,
+                    "lsbs": s.lsbs,
+                    "adder": s.adder,
+                    "multiplier": s.multiplier,
+                }
+                for s in evaluation.design.stages
+            ],
+        },
+        "psnr_db": float(evaluation.psnr_db),
+        "ssim_value": float(evaluation.ssim_value),
+        "peak_accuracy": float(evaluation.peak_accuracy),
+        "detected_peaks": int(evaluation.detected_peaks),
+        "true_peaks": int(evaluation.true_peaks),
+        "energy_reduction": float(evaluation.energy_reduction),
+        "per_record_accuracy": {
+            name: float(value)
+            for name, value in evaluation.per_record_accuracy.items()
+        },
+    }
+
+
+def deserialize_evaluation(payload: Dict[str, object]) -> DesignEvaluation:
+    """Inverse of :func:`serialize_evaluation`."""
+    design_payload = payload["design"]
+    design = DesignPoint(
+        stages=tuple(
+            StageApproximation(
+                stage=s["stage"],
+                lsbs=int(s["lsbs"]),
+                adder=s["adder"],
+                multiplier=s["multiplier"],
+            )
+            for s in design_payload["stages"]
+        ),
+        name=design_payload.get("name", ""),
+        description=design_payload.get("description", ""),
+    )
+    return DesignEvaluation(
+        design=design,
+        psnr_db=float(payload["psnr_db"]),
+        ssim_value=float(payload["ssim_value"]),
+        peak_accuracy=float(payload["peak_accuracy"]),
+        detected_peaks=int(payload["detected_peaks"]),
+        true_peaks=int(payload["true_peaks"]),
+        energy_reduction=float(payload["energy_reduction"]),
+        per_record_accuracy=dict(payload["per_record_accuracy"]),
+    )
+
+
+def _payload_checksum(payload: Dict[str, object]) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _encode_entry(evaluation: DesignEvaluation) -> Dict[str, object]:
+    payload = serialize_evaluation(evaluation)
+    return {"checksum": _payload_checksum(payload), "payload": payload}
+
+
+def _decode_entry(entry: Dict[str, object]) -> Optional[DesignEvaluation]:
+    """Decode a persisted entry; ``None`` when it fails verification."""
+    try:
+        payload = entry["payload"]
+        if entry["checksum"] != _payload_checksum(payload):
+            return None
+        return deserialize_evaluation(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+# ------------------------------------------------------------------ backends
+class ResultCache(ABC):
+    """Content-addressed cache of design evaluations."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def _read(self, key: str) -> Optional[DesignEvaluation]:
+        """Fetch one entry, dropping it and returning ``None`` if corrupt."""
+
+    @abstractmethod
+    def _write(self, key: str, evaluation: DesignEvaluation) -> None:
+        """Store one entry (overwriting any previous value)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+
+    # ------------------------------------------------------------- interface
+    def get(self, key: str) -> Optional[DesignEvaluation]:
+        """The cached evaluation for ``key``, or ``None`` on a miss."""
+        evaluation = self._read(key)
+        if evaluation is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return evaluation
+
+    def put(self, key: str, evaluation: DesignEvaluation) -> None:
+        """Store ``evaluation`` under ``key``."""
+        self.stats.puts += 1
+        self._write(key, evaluation)
+
+    # Mutable-mapping subset so a cache can back a DesignEvaluator directly.
+    def __contains__(self, key: str) -> bool:
+        return self._peek(key) is not None
+
+    def __getitem__(self, key: str) -> DesignEvaluation:
+        evaluation = self.get(key)
+        if evaluation is None:
+            raise KeyError(key)
+        return evaluation
+
+    def __setitem__(self, key: str, evaluation: DesignEvaluation) -> None:
+        self.put(key, evaluation)
+
+    def _peek(self, key: str) -> Optional[DesignEvaluation]:
+        """Like :meth:`_read` but without touching the statistics."""
+        return self._read(key)
+
+
+class MemoryResultCache(ResultCache):
+    """In-process LRU cache, optionally bounded to ``max_entries``."""
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, DesignEvaluation]" = OrderedDict()
+
+    def _read(self, key: str) -> Optional[DesignEvaluation]:
+        evaluation = self._entries.get(key)
+        if evaluation is not None:
+            self._entries.move_to_end(key)
+        return evaluation
+
+    def _peek(self, key: str) -> Optional[DesignEvaluation]:
+        return self._entries.get(key)
+
+    def _write(self, key: str, evaluation: DesignEvaluation) -> None:
+        self._entries[key] = evaluation
+        self._entries.move_to_end(key)
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self) -> Iterator[str]:
+        """Stored keys, least-recently-used first."""
+        return iter(list(self._entries))
+
+
+class JSONDirectoryCache(ResultCache):
+    """One checksummed JSON file per entry inside ``directory``."""
+
+    def __init__(self, directory: str) -> None:
+        super().__init__()
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _read(self, key: str) -> Optional[DesignEvaluation]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.corrupt += 1
+            self._drop(path)
+            return None
+        evaluation = _decode_entry(entry)
+        if evaluation is None:
+            self.stats.corrupt += 1
+            self._drop(path)
+        return evaluation
+
+    @staticmethod
+    def _drop(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - race with another process
+            pass
+
+    def _write(self, key: str, evaluation: DesignEvaluation) -> None:
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(_encode_entry(evaluation), handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.directory) if name.endswith(".json")
+        )
+
+    def clear(self) -> None:
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                self._drop(os.path.join(self.directory, name))
+
+
+class SQLiteResultCache(ResultCache):
+    """All entries in one SQLite database file (share-friendly across runs)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS evaluations ("
+            " key TEXT PRIMARY KEY,"
+            " checksum TEXT NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        self._connection.commit()
+
+    def _read(self, key: str) -> Optional[DesignEvaluation]:
+        row = self._connection.execute(
+            "SELECT checksum, payload FROM evaluations WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        checksum, payload_text = row
+        try:
+            entry = {"checksum": checksum, "payload": json.loads(payload_text)}
+        except json.JSONDecodeError:
+            entry = None
+        evaluation = _decode_entry(entry) if entry is not None else None
+        if evaluation is None:
+            self.stats.corrupt += 1
+            self._connection.execute(
+                "DELETE FROM evaluations WHERE key = ?", (key,)
+            )
+            self._connection.commit()
+        return evaluation
+
+    def _write(self, key: str, evaluation: DesignEvaluation) -> None:
+        entry = _encode_entry(evaluation)
+        self._connection.execute(
+            "INSERT OR REPLACE INTO evaluations (key, checksum, payload)"
+            " VALUES (?, ?, ?)",
+            (key, entry["checksum"], json.dumps(entry["payload"], sort_keys=True)),
+        )
+        self._connection.commit()
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM evaluations"
+        ).fetchone()
+        return int(count)
+
+    def clear(self) -> None:
+        self._connection.execute("DELETE FROM evaluations")
+        self._connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._connection.close()
+
+
+def open_cache(path: Optional[str] = None) -> ResultCache:
+    """Open the right cache backend for ``path``.
+
+    ``None`` gives an unbounded in-memory cache, a path ending in ``.sqlite``
+    / ``.db`` a :class:`SQLiteResultCache`, anything else a
+    :class:`JSONDirectoryCache` rooted at the path.
+    """
+    if path is None:
+        return MemoryResultCache()
+    if path.endswith((".sqlite", ".sqlite3", ".db")):
+        return SQLiteResultCache(path)
+    return JSONDirectoryCache(path)

@@ -1,0 +1,76 @@
+"""Batching policy for fanning evaluation work out over a worker pool.
+
+Submitting every design as its own future maximises scheduling overhead;
+submitting one giant chunk per worker serialises stragglers.  The
+:class:`ChunkPolicy` picks a chunk size between those extremes — by default a
+few chunks per worker, clamped to a configurable range — and callers can pin
+an explicit ``chunk_size`` when they know the workload shape (e.g. the
+multi-record sweeps of the resilience analysis, whose per-design cost is
+uniform).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, TypeVar
+
+__all__ = ["ChunkPolicy", "chunked"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """How a batch of tasks is split into per-worker chunks.
+
+    Parameters
+    ----------
+    chunk_size:
+        Explicit chunk size; when ``None`` the policy derives one from the
+        batch and pool size.
+    chunks_per_worker:
+        Target number of chunks handed to each worker (load-balancing slack
+        for non-uniform task costs).
+    min_chunk_size / max_chunk_size:
+        Clamp applied to the derived size.
+    """
+
+    chunk_size: int | None = None
+    chunks_per_worker: int = 4
+    min_chunk_size: int = 1
+    max_chunk_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+        if not 1 <= self.min_chunk_size <= self.max_chunk_size:
+            raise ValueError(
+                "need 1 <= min_chunk_size <= max_chunk_size, got "
+                f"{self.min_chunk_size}..{self.max_chunk_size}"
+            )
+
+    def size_for(self, task_count: int, workers: int) -> int:
+        """Chunk size for a batch of ``task_count`` tasks on ``workers`` workers."""
+        if task_count < 0:
+            raise ValueError(f"task_count must be >= 0, got {task_count}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if task_count == 0:
+            return self.min_chunk_size
+        derived = math.ceil(task_count / (workers * self.chunks_per_worker))
+        return max(self.min_chunk_size, min(self.max_chunk_size, derived))
+
+
+def chunked(items: Sequence[T], size: int) -> Iterator[List[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size`` elements."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    for start in range(0, len(items), size):
+        yield list(items[start : start + size])

@@ -1,0 +1,278 @@
+"""Command-line interface of the exploration runtime (``python -m repro``).
+
+Three subcommands drive the :class:`~repro.runtime.ExplorationRuntime`:
+
+``explore``
+    Design-space exploration of the pre-processing stages.  The default
+    method enumerates the Table 2 grid through the runtime (optionally capped
+    with ``--max-designs``) and reports the best feasible design; ``--method
+    algorithm1`` runs the full XBioSiP methodology instead.
+``evaluate``
+    Evaluate one design point — a named Fig. 12 configuration (``--config
+    B9``) or an explicit per-stage assignment (``--lsbs lpf=10,hpf=12``).
+``resilience``
+    Per-stage error-resilience sweeps (Figs. 2 and 8), batched through the
+    runtime so the sweep points spread over the worker pool.
+
+All subcommands share the runtime options: ``--records``, ``--duration``,
+``--executor``, ``--workers``, ``--cache`` (a ``.sqlite``/``.db`` file or a
+JSON cache directory, persisted across invocations) and ``--verbose`` for
+per-design progress lines.  Every run ends with the runtime's execution and
+cache statistics, including the measured speedup over the paper's ~300 s
+per-evaluation serial cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..core.configurations import DesignPoint, paper_configuration
+from ..core.design_space import preprocessing_design_space
+from ..core.exploration_time import measure_exploration
+from ..core.methodology import XBioSiP
+from ..core.quality import QualityConstraint
+from ..core.resilience import analyze_stage_resilience
+from ..signals.records import load_record
+from .cache import open_cache
+from .engine import EXECUTOR_KINDS, ExplorationRuntime
+from .telemetry import ProgressEvent
+
+__all__ = ["build_parser", "main"]
+
+
+# ------------------------------------------------------------------ helpers
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runtime")
+    group.add_argument(
+        "--records", default="16265",
+        help="comma-separated NSRDB-style record names (default: 16265)")
+    group.add_argument(
+        "--duration", type=float, default=10.0,
+        help="record length in seconds (default: 10)")
+    group.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default="thread",
+        help="execution backend (default: thread)")
+    group.add_argument(
+        "--workers", type=int, default=None,
+        help="worker pool size (default: 1 for serial, else all CPUs)")
+    group.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persistent result cache: a .sqlite/.db file or a directory "
+             "of JSON entries (default: in-memory)")
+    group.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="designs per worker chunk (default: derived from batch size)")
+    group.add_argument(
+        "--verbose", action="store_true",
+        help="print one progress line per resolved design")
+
+
+def _make_runtime(args: argparse.Namespace) -> ExplorationRuntime:
+    names = [name.strip() for name in args.records.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("error: --records needs at least one record name")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(f"error: --workers must be >= 1, got {args.workers}")
+    records = [load_record(name, duration_s=args.duration) for name in names]
+    progress = None
+    if args.verbose:
+        def progress(event: ProgressEvent) -> None:
+            print(event.describe())
+    chunk_policy = None
+    if args.chunk_size is not None:
+        from .chunking import ChunkPolicy
+
+        chunk_policy = ChunkPolicy(chunk_size=args.chunk_size)
+    return ExplorationRuntime(
+        records,
+        executor=args.executor,
+        max_workers=args.workers,
+        cache=open_cache(args.cache),
+        chunk_policy=chunk_policy,
+        progress=progress,
+    )
+
+
+def _constraint(args: argparse.Namespace) -> QualityConstraint:
+    return QualityConstraint(args.metric, args.threshold)
+
+
+def _parse_lsbs(text: str) -> DesignPoint:
+    lsbs = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise SystemExit(
+                f"error: bad --lsbs entry {item!r} (expected stage=count)"
+            )
+        stage, _, value = item.partition("=")
+        try:
+            lsbs[stage.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(f"error: bad LSB count in --lsbs entry {item!r}")
+    if not lsbs:
+        raise SystemExit("error: --lsbs needs at least one stage=count entry")
+    return DesignPoint.from_lsbs(lsbs, name="cli")
+
+
+def _print_statistics(runtime: ExplorationRuntime, strategy: str) -> None:
+    print()
+    print("runtime statistics")
+    print("------------------")
+    print(runtime.statistics().report())
+    telemetry = runtime.telemetry
+    measured = measure_exploration(
+        strategy,
+        telemetry.evaluations,
+        telemetry.busy_s,
+        cache_hits=telemetry.cache_hits,
+    )
+    print(measured.summary())
+
+
+# --------------------------------------------------------------- subcommands
+def _cmd_explore(args: argparse.Namespace) -> int:
+    runtime = _make_runtime(args)
+    constraint = _constraint(args)
+    with runtime:
+        if args.method == "algorithm1":
+            result = XBioSiP(
+                runtime.records,
+                preprocessing_constraint=constraint,
+                runtime=runtime,
+            ).run()
+            print(result.report())
+        else:
+            space = preprocessing_design_space(lsb_step=args.lsb_step)
+            designs: List[DesignPoint] = []
+            for index, design in enumerate(space.designs()):
+                if args.max_designs is not None and index >= args.max_designs:
+                    break
+                designs.append(design)
+            evaluations = runtime.evaluate_many(designs)
+            feasible = [e for e in evaluations if constraint.satisfied_by(e)]
+            print(
+                f"grid exploration: {len(evaluations)} designs evaluated, "
+                f"{len(feasible)} satisfy {constraint}"
+            )
+            if feasible:
+                best = max(feasible, key=lambda e: e.energy_reduction)
+                print(f"best feasible design: {best.summary()}")
+            else:
+                print("no feasible design in the explored grid")
+        _print_statistics(runtime, args.method)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if (args.config is None) == (args.lsbs is None):
+        raise SystemExit("error: evaluate needs exactly one of --config / --lsbs")
+    if args.config is not None:
+        try:
+            design = paper_configuration(args.config)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+    else:
+        design = _parse_lsbs(args.lsbs)
+    runtime = _make_runtime(args)
+    with runtime:
+        evaluation = runtime.evaluate(design)
+        print(evaluation.summary())
+        for name, accuracy in sorted(evaluation.per_record_accuracy.items()):
+            print(f"  record {name}: peak accuracy {accuracy * 100:.1f}%")
+        _print_statistics(runtime, "evaluate")
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    stages = [name.strip() for name in args.stages.split(",") if name.strip()]
+    if not stages:
+        raise SystemExit("error: --stages needs at least one stage name")
+    runtime = _make_runtime(args)
+    with runtime:
+        for stage in stages:
+            profile = analyze_stage_resilience(stage, runtime)
+            threshold = profile.error_resilience_threshold()
+            print(
+                f"stage {profile.stage} (adder {profile.adder}, "
+                f"multiplier {profile.multiplier})"
+            )
+            print(
+                f"  error-resilience threshold: {threshold} LSBs, max energy "
+                f"reduction x{profile.max_energy_reduction(0.0):.1f}"
+            )
+            for row in profile.as_table():
+                print(
+                    f"  lsbs={int(row['lsbs']):2d}  "
+                    f"energy x{row['energy_reduction']:.2f}  "
+                    f"psnr {row['psnr_db']:6.1f} dB  "
+                    f"accuracy {row['peak_accuracy'] * 100:5.1f}%"
+                )
+        _print_statistics(runtime, "resilience")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XBioSiP reproduction: parallel, cached design-space "
+                    "exploration of approximate bio-signal processors.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    explore = subparsers.add_parser(
+        "explore", help="explore the pre-processing design space")
+    explore.add_argument(
+        "--method", choices=("grid", "algorithm1"), default="grid",
+        help="grid enumeration (default) or the full XBioSiP methodology")
+    explore.add_argument(
+        "--max-designs", type=int, default=None,
+        help="cap on the number of grid designs to evaluate")
+    explore.add_argument(
+        "--lsb-step", type=int, default=2,
+        help="LSB granularity of the grid (default: 2, the Table 2 setting)")
+    explore.add_argument(
+        "--metric", choices=("psnr", "ssim", "peak_accuracy"), default="psnr",
+        help="constraint metric (default: psnr)")
+    explore.add_argument(
+        "--threshold", type=float, default=15.0,
+        help="constraint threshold (default: 15.0, the paper's PSNR bound)")
+    _add_runtime_options(explore)
+    explore.set_defaults(handler=_cmd_explore)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate one design point")
+    evaluate.add_argument(
+        "--config", default=None,
+        help="named Fig. 12 configuration (A2, B1..B14)")
+    evaluate.add_argument(
+        "--lsbs", default=None,
+        help="explicit design, e.g. lpf=10,hpf=12,mwi=16")
+    _add_runtime_options(evaluate)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    resilience = subparsers.add_parser(
+        "resilience", help="per-stage error-resilience sweeps")
+    resilience.add_argument(
+        "--stages", default="lpf,hpf,der,sqr,mwi",
+        help="comma-separated stage names (default: all five)")
+    _add_runtime_options(resilience)
+    resilience.set_defaults(handler=_cmd_resilience)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

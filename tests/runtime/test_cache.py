@@ -1,0 +1,144 @@
+"""Result cache backends: round-trips, statistics, eviction, corruption."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import DesignEvaluator, DesignPoint
+from repro.runtime.cache import (
+    JSONDirectoryCache,
+    MemoryResultCache,
+    SQLiteResultCache,
+    deserialize_evaluation,
+    open_cache,
+    serialize_evaluation,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_evaluation(tiny_record):
+    evaluator = DesignEvaluator([tiny_record])
+    return evaluator.evaluate(
+        DesignPoint.from_lsbs({"lpf": 6, "hpf": 4}, name="sample",
+                              description="cache round-trip sample")
+    )
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self, sample_evaluation):
+        restored = deserialize_evaluation(
+            json.loads(json.dumps(serialize_evaluation(sample_evaluation)))
+        )
+        assert restored == sample_evaluation
+        assert restored.design.name == "sample"
+        assert restored.per_record_accuracy == sample_evaluation.per_record_accuracy
+
+
+class TestMemoryCache:
+    def test_hit_miss_accounting(self, sample_evaluation):
+        cache = MemoryResultCache()
+        assert cache.get("k") is None
+        cache.put("k", sample_evaluation)
+        assert cache.get("k") == sample_evaluation
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self, sample_evaluation):
+        cache = MemoryResultCache(max_entries=2)
+        cache.put("a", sample_evaluation)
+        cache.put("b", sample_evaluation)
+        cache.get("a")  # refresh "a": "b" becomes the LRU entry
+        cache.put("c", sample_evaluation)
+        assert cache.stats.evictions == 1
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_mapping_interface(self, sample_evaluation):
+        cache = MemoryResultCache()
+        cache["k"] = sample_evaluation
+        assert cache["k"] == sample_evaluation
+        with pytest.raises(KeyError):
+            cache["missing"]
+
+
+class TestJSONDirectoryCache:
+    def test_round_trip_and_persistence(self, tmp_path, sample_evaluation):
+        path = str(tmp_path / "cache")
+        first = JSONDirectoryCache(path)
+        first.put("k", sample_evaluation)
+        # A brand-new instance over the same directory sees the entry.
+        second = JSONDirectoryCache(path)
+        assert len(second) == 1
+        assert second.get("k") == sample_evaluation
+
+    def test_corrupted_file_is_detected_and_dropped(self, tmp_path,
+                                                    sample_evaluation):
+        cache = JSONDirectoryCache(str(tmp_path / "cache"))
+        cache.put("k", sample_evaluation)
+        entry_path = os.path.join(cache.directory, "k.json")
+        with open(entry_path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        entry["payload"]["psnr_db"] = 999.0  # checksum no longer matches
+        with open(entry_path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+
+        assert cache.get("k") is None
+        assert cache.stats.corrupt == 1
+        assert not os.path.exists(entry_path)  # dropped, will be recomputed
+
+    def test_truncated_file_is_detected(self, tmp_path, sample_evaluation):
+        cache = JSONDirectoryCache(str(tmp_path / "cache"))
+        cache.put("k", sample_evaluation)
+        entry_path = os.path.join(cache.directory, "k.json")
+        with open(entry_path, "w", encoding="utf-8") as handle:
+            handle.write('{"checksum": "abc", "payl')
+        assert cache.get("k") is None
+        assert cache.stats.corrupt == 1
+
+    def test_clear(self, tmp_path, sample_evaluation):
+        cache = JSONDirectoryCache(str(tmp_path / "cache"))
+        cache.put("a", sample_evaluation)
+        cache.put("b", sample_evaluation)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSQLiteCache:
+    def test_round_trip_and_persistence(self, tmp_path, sample_evaluation):
+        path = str(tmp_path / "cache.sqlite")
+        first = SQLiteResultCache(path)
+        first.put("k", sample_evaluation)
+        first.close()
+        second = SQLiteResultCache(path)
+        assert len(second) == 1
+        assert second.get("k") == sample_evaluation
+        second.close()
+
+    def test_corrupted_row_is_detected_and_dropped(self, tmp_path,
+                                                   sample_evaluation):
+        path = str(tmp_path / "cache.sqlite")
+        cache = SQLiteResultCache(path)
+        cache.put("k", sample_evaluation)
+        cache._connection.execute(
+            "UPDATE evaluations SET payload = ? WHERE key = ?",
+            ('{"not": "a valid entry"}', "k"),
+        )
+        cache._connection.commit()
+        assert cache.get("k") is None
+        assert cache.stats.corrupt == 1
+        assert len(cache) == 0  # the bad row was deleted
+        cache.close()
+
+
+class TestOpenCache:
+    def test_backend_selection(self, tmp_path):
+        assert isinstance(open_cache(None), MemoryResultCache)
+        sqlite = open_cache(str(tmp_path / "c.sqlite"))
+        assert isinstance(sqlite, SQLiteResultCache)
+        sqlite.close()
+        assert isinstance(open_cache(str(tmp_path / "dir")), JSONDirectoryCache)

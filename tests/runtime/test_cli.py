@@ -1,0 +1,93 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.cli import main
+
+COMMON = ["--duration", "4", "--executor", "serial"]
+
+
+class TestExplore:
+    def test_grid_smoke(self, capsys):
+        assert main(["explore", "--max-designs", "4", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "grid exploration: 4 designs evaluated" in out
+        assert "runtime statistics" in out
+        assert "evaluations/s" in out
+
+    def test_grid_with_persistent_cache_warm_second_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cli-cache.sqlite")
+        args = ["explore", "--max-designs", "3", "--cache", cache, *COMMON]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "(0 evaluated, 100.0% cache hits)" in out
+
+    def test_algorithm1_method_runs_the_methodology(self, capsys):
+        # Constrain to the two pre-processing stages' default flow; a 4 s
+        # record keeps this affordable (~50 evaluations).
+        assert main(["explore", "--method", "algorithm1", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "XBioSiP design generation result" in out
+        assert "designs evaluated" in out
+
+    def test_verbose_progress_lines(self, capsys):
+        assert main(["explore", "--max-designs", "2", "--verbose", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+
+
+class TestEvaluate:
+    def test_named_configuration(self, capsys):
+        assert main(["evaluate", "--config", "B9", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "B9:" in out
+        assert "record 16265" in out
+
+    def test_explicit_lsbs(self, capsys):
+        assert main(["evaluate", "--lsbs", "lpf=4,hpf=8", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "lpf=4 hpf=8" in out
+
+    def test_rejects_ambiguous_design_choice(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", *COMMON])
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--config", "B9", "--lsbs", "lpf=4", *COMMON])
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--lsbs", "lpf=oops", *COMMON])
+
+
+class TestResilience:
+    def test_single_stage_sweep(self, capsys):
+        assert main(["resilience", "--stages", "der", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "stage derivative" in out
+        assert "error-resilience threshold" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_smoke(self):
+        """The issue's smoke test: ``python -m repro explore --max-designs 4``."""
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env = dict(os.environ)
+        src = os.path.join(repo_root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "explore", "--max-designs", "4",
+             "--duration", "4"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "grid exploration: 4 designs evaluated" in completed.stdout
