@@ -1,0 +1,97 @@
+"""Stage-graph memoization benchmark: shared-prefix reuse across B1..B14.
+
+The paper's Fig. 12 hardware configurations only assume four distinct
+(LPF, HPF) pre-processing settings plus the accurate baseline, yet a
+monolithic pipeline reruns both filters for every one of the 15
+configurations.  The stage-graph executor must instead compute each distinct
+stage node exactly once — LPF three times (accurate, 10 and 12 LSBs), HPF
+five times (accurate plus the four Fig. 12 combinations) — and serve every
+later configuration from the intermediate-signal store, bit-identically to a
+cache-less run.
+"""
+
+import numpy as np
+
+from conftest import format_row, write_report
+
+from repro.core import paper_configuration, paper_configuration_names
+from repro.core.quality import run_design_evaluation
+from repro.dsp.stages import STAGE_NAMES
+from repro.runtime import ExplorationRuntime
+
+
+def _sweep_configurations(record):
+    runtime = ExplorationRuntime([record], executor="serial")
+    designs = [
+        paper_configuration(name)
+        for name in paper_configuration_names()
+        if name.startswith("B")
+    ]
+    evaluations = runtime.evaluate_many(designs)
+    return runtime, designs, evaluations
+
+
+def test_stage_memoization_reuse(benchmark, bench_record):
+    runtime, designs, evaluations = benchmark.pedantic(
+        _sweep_configurations, args=(bench_record,), rounds=1, iterations=1
+    )
+    stats = runtime.stage_stats
+    memo = runtime.stage_memo
+
+    # Distinct node count per stage: walk each configuration's key chain.
+    distinct = {name: set() for name in STAGE_NAMES}
+    samples = np.asarray(bench_record.samples, dtype=np.int64)
+    from repro.dsp.pan_tompkins import PanTompkinsPipeline
+
+    for design in [paper_configuration("A2"), *designs]:
+        pipeline = PanTompkinsPipeline(backends=design.backends())
+        keys = memo.chain_keys(
+            samples,
+            pipeline.stages,
+            {s.name: pipeline.backend_for(s) for s in pipeline.stages},
+        )
+        for name, key in keys.items():
+            distinct[name].add(key)
+
+    runs = 1 + len(designs)  # accurate reference + B1..B14
+    widths = (24, 10, 10, 10, 10)
+    lines = [
+        "Stage-graph memoization across the Fig. 12 configurations "
+        f"(A2 + {len(designs)} approximate designs, one record)",
+        "",
+        format_row(("stage", "monolithic", "distinct", "computed", "reused"),
+                   widths),
+    ]
+    for name in STAGE_NAMES:
+        lines.append(format_row(
+            (name, runs, len(distinct[name]), stats.computes_for(name),
+             stats.hits_for(name)), widths))
+    lines.append("")
+    lines.append(
+        f"stage runs executed : {stats.total_computes} of "
+        f"{runs * len(STAGE_NAMES)} a monolithic pipeline would run "
+        f"({stats.hit_rate() * 100:.1f}% served from the signal store)"
+    )
+
+    # Warm results must be bit-identical to a cache-less run.
+    for design, warm in zip(designs, evaluations):
+        cold = run_design_evaluation(
+            design, runtime.records,
+            {r.name: runtime.accurate_result(r) for r in runtime.records},
+        )
+        assert warm.psnr_db == cold.psnr_db
+        assert warm.ssim_value == cold.ssim_value
+        assert warm.peak_accuracy == cold.peak_accuracy
+        assert warm.detected_peaks == cold.detected_peaks
+    lines.append("warm vs cache-less results: bit-identical on all "
+                 f"{len(designs)} configurations")
+    write_report("stage_memoization", lines)
+
+    # Acceptance criterion: each distinct LPF/HPF node executed exactly once.
+    for name in STAGE_NAMES:
+        assert stats.computes_for(name) == len(distinct[name])
+        assert stats.computes_for(name) + stats.hits_for(name) == runs
+    assert len(distinct["low_pass"]) == 3
+    assert len(distinct["high_pass"]) == 5
+    assert stats.hits_for("low_pass") == runs - 3
+    assert stats.hits_for("high_pass") == runs - 5

@@ -7,7 +7,10 @@ Demonstrates the execution layer behind all exploration workloads:
   fanning the independent design evaluations of a Table 2-style grid out in
   deterministic order,
 * a persistent SQLite result cache — rerun this script and watch the second
-  pass answer every design from the cache with zero pipeline runs, and
+  pass answer every design from the cache with zero pipeline runs,
+* the stage graph underneath: designs sharing a settings prefix reuse each
+  other's memoized intermediate signals (the per-stage reuse lines in the
+  statistics report), persisted here in a SQLite signal store, and
 * progress + telemetry hooks, including the measured speedup over the paper's
   ~300 s-per-evaluation serial cost model (the Fig. 11 yardstick).
 
@@ -19,7 +22,7 @@ import tempfile
 
 from repro import ExplorationRuntime, XBioSiP, load_record
 from repro.core import QualityConstraint, preprocessing_design_space
-from repro.runtime import SQLiteResultCache
+from repro.runtime import SQLiteResultCache, SQLiteSignalStore
 
 
 def progress(event) -> None:
@@ -41,25 +44,37 @@ def explore(runtime: ExplorationRuntime, label: str) -> None:
 def main() -> None:
     records = [load_record("16265", duration_s=10.0)]
     cache_path = os.path.join(tempfile.gettempdir(), "xbiosip-demo-cache.sqlite")
+    signals_path = os.path.join(
+        tempfile.gettempdir(), "xbiosip-demo-signals.sqlite"
+    )
 
     # --- cold run: every design is evaluated on the worker pool ------------
+    cold_cache = SQLiteResultCache(cache_path)
+    cold_signals = SQLiteSignalStore(signals_path)
     with ExplorationRuntime(
         records,
         executor="thread",
         max_workers=4,
-        cache=SQLiteResultCache(cache_path),
+        cache=cold_cache,
+        signal_store=cold_signals,
         progress=progress,
     ) as runtime:
         explore(runtime, "cold run")
+    cold_cache.close()
+    cold_signals.close()
 
     # --- warm run: a fresh runtime, same persistent cache ------------------
     # Results are content-addressed (design + records + library version), so
-    # this run performs zero pipeline evaluations.
+    # this run performs zero pipeline evaluations; even its accurate
+    # reference runs resolve from the persistent signal store.
+    warm_cache = SQLiteResultCache(cache_path)
+    warm_signals = SQLiteSignalStore(signals_path)
     with ExplorationRuntime(
         records,
         executor="thread",
         max_workers=4,
-        cache=SQLiteResultCache(cache_path),
+        cache=warm_cache,
+        signal_store=warm_signals,
     ) as runtime:
         explore(runtime, "warm run")
         print(f"warm run pipeline evaluations: {runtime.evaluation_count}")
@@ -72,7 +87,10 @@ def main() -> None:
         result = XBioSiP(records, runtime=runtime).run()
         print(result.report())
 
+    warm_cache.close()
+    warm_signals.close()
     os.remove(cache_path)
+    os.remove(signals_path)
 
 
 if __name__ == "__main__":

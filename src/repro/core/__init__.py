@@ -36,9 +36,13 @@ from .exploration_time import (
     measure_exploration,
 )
 from .fingerprint import (
+    backend_fingerprint,
     design_point_key,
     evaluation_cache_key,
     record_fingerprint,
+    signal_root_key,
+    stage_fingerprint,
+    stage_node_key,
     workload_fingerprint,
 )
 from .methodology import (
@@ -62,6 +66,11 @@ from .resilience import (
     StageResilienceProfile,
     analyze_all_stages,
     analyze_stage_resilience,
+)
+from .stage_graph import (
+    MemoryStageStore,
+    StageGraphMemo,
+    StageGraphStats,
 )
 
 __all__ = [
@@ -90,10 +99,17 @@ __all__ = [
     "compare_strategies",
     "estimate_exploration",
     "measure_exploration",
+    "backend_fingerprint",
     "design_point_key",
     "evaluation_cache_key",
     "record_fingerprint",
+    "signal_root_key",
+    "stage_fingerprint",
+    "stage_node_key",
     "workload_fingerprint",
+    "MemoryStageStore",
+    "StageGraphMemo",
+    "StageGraphStats",
     "PREPROCESSING_STAGES",
     "SIGNAL_PROCESSING_STAGES",
     "XBioSiP",

@@ -1,7 +1,8 @@
 """Stable content fingerprints for design points and evaluation workloads.
 
 Every caching layer in the reproduction — the in-memory cache of
-:class:`~repro.core.quality.DesignEvaluator` and the persistent caches of
+:class:`~repro.core.quality.DesignEvaluator`, the stage-graph memoization of
+:mod:`repro.core.stage_graph` and the persistent caches of
 :mod:`repro.runtime.cache` — keys results by *content*, not by object
 identity.  A cached evaluation is only reusable when all of the following
 match:
@@ -16,6 +17,13 @@ match:
 
 The combination is collapsed into SHA-256 hex digests, so keys are portable
 across processes, evaluator instances and (via the on-disk caches) runs.
+
+Besides the whole-evaluation keys, this module also fingerprints the *nodes*
+of the stage graph: one node is one stage run, keyed by the chain
+``root(samples) -> stage definition + backend -> upstream node``.  Because the
+upstream key is folded into each node key, two designs share a node exactly
+when their settings agree on every stage up to and including that node — the
+shared-prefix property the stage-graph executor memoizes on.
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ import json
 from dataclasses import asdict, is_dataclass
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
+from ..arithmetic.library import ArithmeticBackend
+from ..dsp.stages import StageDefinition
 from ..signals.records import ECGRecord
 from .configurations import DesignPoint
 
@@ -34,6 +46,10 @@ __all__ = [
     "workload_fingerprint",
     "evaluation_cache_key",
     "library_version",
+    "stage_fingerprint",
+    "backend_fingerprint",
+    "signal_root_key",
+    "stage_node_key",
 ]
 
 
@@ -124,3 +140,92 @@ def workload_fingerprint(
 def evaluation_cache_key(design: DesignPoint, workload: str) -> str:
     """Cache key of one (design, workload) evaluation."""
     return _digest({"design": design_point_key(design), "workload": workload})
+
+
+# ------------------------------------------------------- stage-graph nodes
+def stage_fingerprint(stage: StageDefinition) -> str:
+    """Content hash of everything a stage's computation depends on.
+
+    Covers the stage kind, the exact floating-point coefficients, the
+    fixed-point parameters and the MWI window — but not the cosmetic
+    ``description``/``label`` fields or the exploration bound
+    ``max_approx_lsbs``, none of which influence the output signal.
+    """
+    return _digest(
+        {
+            "name": stage.name,
+            "kind": stage.kind,
+            "coefficients": [float(c) for c in stage.coefficients],
+            "coefficient_frac_bits": int(stage.coefficient_frac_bits),
+            "output_shift": int(stage.output_shift),
+            "window": int(stage.window),
+        }
+    )
+
+
+def backend_fingerprint(backend: ArithmeticBackend) -> str:
+    """Content hash of an arithmetic backend's observable behaviour.
+
+    Any backend that computes bit-exactly (zero approximated LSBs, or exact
+    elementary cells) collapses onto a single "accurate" fingerprint, so the
+    accurate reference chain is shared no matter how the accurate backend was
+    spelled.
+    """
+    if backend.is_accurate:
+        payload: object = {
+            "accurate": True,
+            "adder_width": int(backend.adder_width),
+            "multiplier_width": int(backend.multiplier_width),
+        }
+    else:
+        payload = {
+            "approx_lsbs": int(backend.approx_lsbs),
+            "adder": backend.resolved_adder.name,
+            "multiplier": backend.resolved_multiplier.name,
+            "adder_width": int(backend.adder_width),
+            "multiplier_width": int(backend.multiplier_width),
+        }
+    return _digest(payload)
+
+
+def signal_root_key(samples: np.ndarray) -> str:
+    """Root node key of the stage graph: the raw input recording.
+
+    Hashes the sample data itself (with a dtype/size header, like
+    :func:`record_fingerprint`) plus the library version, so a pipeline
+    change invalidates every downstream node.
+    """
+    samples = np.asarray(samples)
+    header = json.dumps(
+        {
+            "library": library_version(),
+            "dtype": str(samples.dtype),
+            "size": int(samples.size),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    hasher = hashlib.sha256()
+    hasher.update(header.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(np.ascontiguousarray(samples).tobytes())
+    return hasher.hexdigest()
+
+
+def stage_node_key(
+    parent_key: str, stage: StageDefinition, backend: ArithmeticBackend
+) -> str:
+    """Key of one stage-run node given its upstream node's key.
+
+    Chaining the parent key means a node key pins down the *entire* prefix of
+    the pipeline that produced the node's input — record, every upstream stage
+    definition and every upstream backend — which is exactly the condition
+    under which a memoized stage output may be reused.
+    """
+    return _digest(
+        {
+            "parent": parent_key,
+            "stage": stage_fingerprint(stage),
+            "backend": backend_fingerprint(backend),
+        }
+    )

@@ -16,6 +16,14 @@ one or more records, caches the accurate reference runs, and produces a
 :class:`DesignEvaluation` carrying both quality stages plus the hardware
 energy reduction — a single object that the design-generation methodology,
 the benchmarks and the examples all consume.
+
+All pipeline runs — accurate references included — execute through a shared
+stage graph (:mod:`repro.core.stage_graph`): each stage run is a
+content-addressed node, so designs that agree on a settings prefix (e.g. the
+paper's B1..B14 configurations, which never touch the LPF/HPF arithmetic in
+more than four distinct ways) reuse each other's upstream signals instead of
+recomputing them.  Memoized execution is bit-identical to cold execution;
+the evaluator merely skips work it has provably done before.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from ..metrics.ssim import ssim
 from ..signals.records import ECGRecord
 from .configurations import DesignPoint
 from .fingerprint import evaluation_cache_key, workload_fingerprint
+from .stage_graph import StageGraphMemo, StageGraphStats
 
 __all__ = [
     "QualityConstraint",
@@ -143,13 +152,16 @@ def run_design_evaluation(
     detection_config: Optional[PeakDetectionConfig] = None,
     peak_tolerance_samples: int = 40,
     expected_delay_samples: Optional[float] = None,
+    stage_memo: Optional[StageGraphMemo] = None,
 ) -> DesignEvaluation:
     """Evaluate one design on a record set against precomputed accurate runs.
 
     This is the pure computation behind :meth:`DesignEvaluator.evaluate` — no
     caching, no counting, no shared mutable state — which makes it safe to
     call concurrently from the worker pools of
-    :class:`repro.runtime.ExplorationRuntime`.
+    :class:`repro.runtime.ExplorationRuntime`.  Passing a ``stage_memo``
+    resolves the pipeline's stage nodes through the memo's store (the memo is
+    itself thread-safe); results are bit-identical either way.
     """
     if expected_delay_samples is None:
         expected_delay_samples = total_group_delay_samples()
@@ -164,7 +176,7 @@ def run_design_evaluation(
     true_total = 0
 
     for record in records:
-        approx = pipeline.process(record.samples)
+        approx = pipeline.process(record.samples, memo=stage_memo)
         reference = accurate[record.name]
         psnr_values.append(psnr(reference.preprocessed, approx.preprocessed))
         ssim_values.append(ssim(reference.preprocessed, approx.preprocessed))
@@ -205,6 +217,14 @@ class DesignEvaluator:
     shared between evaluator instances (pass one via ``cache=``): entries
     produced on a different record set or with different parameters can never
     be confused, because their keys differ.
+
+    Below the whole-evaluation cache sits the *stage graph*: every pipeline
+    run resolves its five stage nodes through a shared
+    :class:`~repro.core.stage_graph.StageGraphMemo`, so distinct designs
+    sharing a settings prefix reuse upstream stage outputs.  The accurate
+    reference runs are graph nodes too — either computed through the graph at
+    construction, or seeded from precomputed results shipped in via
+    ``accurate_results`` (the process-pool warm start).
     """
 
     def __init__(
@@ -213,6 +233,8 @@ class DesignEvaluator:
         detection_config: Optional[PeakDetectionConfig] = None,
         peak_tolerance_samples: int = 40,
         cache: Optional[MutableMapping[str, DesignEvaluation]] = None,
+        signal_store: Optional[object] = None,
+        accurate_results: Optional[Dict[str, PanTompkinsResult]] = None,
     ) -> None:
         if isinstance(records, ECGRecord):
             records = [records]
@@ -227,9 +249,24 @@ class DesignEvaluator:
         self._cache: MutableMapping[str, DesignEvaluation] = (
             cache if cache is not None else {}
         )
+        self._stage_memo = StageGraphMemo(store=signal_store)
         for record in self.records:
             pipeline = PanTompkinsPipeline(detection_config=detection_config)
-            self._accurate[record.name] = pipeline.process(record.samples)
+            shipped = (accurate_results or {}).get(record.name)
+            if shipped is not None:
+                # Warm start: adopt the precomputed accurate run and seed its
+                # stage outputs as graph nodes instead of recomputing them.
+                self._accurate[record.name] = shipped
+                self._stage_memo.seed(
+                    np.asarray(record.samples, dtype=np.int64),
+                    pipeline.stages,
+                    {s.name: pipeline.backend_for(s) for s in pipeline.stages},
+                    shipped.stage_outputs,
+                )
+            else:
+                self._accurate[record.name] = pipeline.process(
+                    record.samples, memo=self._stage_memo
+                )
         self._workload = workload_fingerprint(
             self.records, detection_config, peak_tolerance_samples
         )
@@ -257,6 +294,21 @@ class DesignEvaluator:
         """The cached accurate pipeline result for one of the records."""
         return self._accurate[record.name]
 
+    @property
+    def accurate_results(self) -> Dict[str, PanTompkinsResult]:
+        """All accurate reference runs, by record name (warm-start payload)."""
+        return dict(self._accurate)
+
+    @property
+    def stage_memo(self) -> StageGraphMemo:
+        """The stage-graph memo every pipeline run resolves through."""
+        return self._stage_memo
+
+    @property
+    def stage_stats(self) -> StageGraphStats:
+        """Per-stage hit/compute accounting of the stage graph."""
+        return self._stage_memo.stats
+
     # ---------------------------------------------------------- evaluation
     def evaluate(self, design: DesignPoint, use_cache: bool = True) -> DesignEvaluation:
         """Run ``design`` on every record and aggregate the quality metrics."""
@@ -274,6 +326,7 @@ class DesignEvaluator:
             detection_config=self.detection_config,
             peak_tolerance_samples=self.peak_tolerance_samples,
             expected_delay_samples=self._delay,
+            stage_memo=self._stage_memo,
         )
         if use_cache:
             self._cache[key] = evaluation

@@ -1,0 +1,296 @@
+"""Stage-graph execution: memoized, content-addressed pipeline stage runs.
+
+The Pan-Tompkins pipeline is a chain of five deterministic stages, and the
+paper's design space (Section 6.2) only varies the arithmetic of a few of
+them — so across a design-space sweep most stage runs are *identical*: every
+design with the same LPF/HPF settings produces bit-identical low-pass and
+high-pass signals.  Rather than recomputing those signals once per design,
+the executor here treats each stage run as a node in a content-addressed
+graph:
+
+* A node's key (:func:`~repro.core.fingerprint.stage_node_key`) chains the
+  upstream node's key with the stage definition and backend fingerprints, so
+  two designs share a node exactly when they agree on the whole settings
+  prefix up to that stage.
+* Node outputs live in a pluggable signal store (any object with
+  ``get(key) -> Optional[ndarray]`` / ``put(key, ndarray)``): the default is
+  the in-process :class:`MemoryStageStore`, and :mod:`repro.runtime.
+  signal_store` provides persistent JSON-directory and SQLite backends with
+  the same interface.
+* Per-stage hit/compute accounting (:class:`StageGraphStats`) feeds the
+  runtime telemetry and the stage-memoization benchmark.
+
+:class:`StageGraphMemo` is the object threaded through
+:meth:`~repro.dsp.pan_tompkins.PanTompkinsPipeline.process`; the pipeline
+stays oblivious to fingerprinting and storage, it just asks the memo before
+running a stage and tells it afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..arithmetic.library import ArithmeticBackend
+from ..dsp.stages import StageDefinition
+from .fingerprint import signal_root_key, stage_node_key
+
+__all__ = [
+    "StageGraphStats",
+    "MemoryStageStore",
+    "StageGraphMemo",
+    "DEFAULT_STORE_ENTRIES",
+]
+
+#: Default capacity of the in-process signal store.  Each node holds one
+#: record-length int64 signal (~16 kB for a 10 s record), so the default
+#: bounds the store at a few MB while comfortably covering the paper's
+#: design-space sweeps.
+DEFAULT_STORE_ENTRIES = 512
+
+
+# ------------------------------------------------------------- accounting
+@dataclass
+class StageGraphStats:
+    """Per-stage hit/compute counters of one stage-graph memo."""
+
+    computes: Dict[str, int] = field(default_factory=dict)
+    hits: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, stage_name: str, hit: bool) -> None:
+        """Account one stage-node resolution."""
+        bucket = self.hits if hit else self.computes
+        bucket[stage_name] = bucket.get(stage_name, 0) + 1
+
+    def computes_for(self, stage_name: str) -> int:
+        """Number of times ``stage_name`` was actually executed."""
+        return self.computes.get(stage_name, 0)
+
+    def hits_for(self, stage_name: str) -> int:
+        """Number of times ``stage_name`` was served from the store."""
+        return self.hits.get(stage_name, 0)
+
+    @property
+    def total_computes(self) -> int:
+        """Stage executions summed over all stages."""
+        return sum(self.computes.values())
+
+    @property
+    def total_hits(self) -> int:
+        """Store hits summed over all stages."""
+        return sum(self.hits.values())
+
+    def hit_rate(self, stage_name: Optional[str] = None) -> float:
+        """Fraction of stage runs served from the store (0.0 when unused)."""
+        if stage_name is None:
+            hits, computes = self.total_hits, self.total_computes
+        else:
+            hits = self.hits_for(stage_name)
+            computes = self.computes_for(stage_name)
+        resolved = hits + computes
+        return hits / resolved if resolved else 0.0
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage snapshot (telemetry / CLI reporting)."""
+        stages = sorted(set(self.computes) | set(self.hits))
+        return {
+            name: {
+                "computes": self.computes_for(name),
+                "hits": self.hits_for(name),
+                "hit_rate": self.hit_rate(name),
+            }
+            for name in stages
+        }
+
+
+# ------------------------------------------------------------------ store
+class MemoryStageStore:
+    """Thread-safe in-process LRU store of stage-output signals.
+
+    Stored arrays are copied and frozen (``writeable = False``) so a cached
+    signal can be handed to many concurrent pipeline runs without any risk of
+    one run mutating another's input.
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_STORE_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The stored signal for ``key`` (read-only view), or ``None``."""
+        with self._lock:
+            signal = self._entries.get(key)
+            if signal is not None:
+                self._entries.move_to_end(key)
+            return signal
+
+    def put(self, key: str, signal: np.ndarray) -> None:
+        """Store a frozen copy of ``signal`` under ``key``."""
+        frozen = np.array(signal, copy=True)
+        frozen.setflags(write=False)
+        with self._lock:
+            self._entries[key] = frozen
+            self._entries.move_to_end(key)
+            while (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every stored signal (eviction count is kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+# ------------------------------------------------------------------- memo
+class StageGraphMemo:
+    """Memoization context threaded through pipeline runs.
+
+    One memo instance represents one stage graph: all pipeline runs sharing
+    the memo share its node store, so designs with a common settings prefix
+    reuse each other's upstream stage outputs — including the accurate
+    reference runs, which are just the all-accurate path through the same
+    graph.
+
+    Parameters
+    ----------
+    store:
+        Signal store holding node outputs.  Defaults to a bounded
+        :class:`MemoryStageStore`; pass a persistent store from
+        :mod:`repro.runtime.signal_store` to share nodes across processes
+        and runs.
+    stats:
+        Hit/compute accounting; a fresh :class:`StageGraphStats` by default.
+    """
+
+    #: Number of single-flight lock stripes.  Concurrent resolutions of
+    #: *different* nodes only contend when their keys hash to the same
+    #: stripe (1/32 chance), while resolutions of the *same* node serialize,
+    #: so every node is computed exactly once even under a thread pool.
+    _N_STRIPES = 32
+
+    def __init__(
+        self,
+        store: Optional[object] = None,
+        stats: Optional[StageGraphStats] = None,
+    ) -> None:
+        self.store = store if store is not None else MemoryStageStore()
+        self.stats = stats if stats is not None else StageGraphStats()
+        self._lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(self._N_STRIPES)]
+
+    # ------------------------------------------------------------- keying
+    def root_key(self, samples: np.ndarray) -> str:
+        """Key of the graph's root node (the raw input samples)."""
+        return signal_root_key(samples)
+
+    def node_key(
+        self, parent_key: str, stage: StageDefinition, backend: ArithmeticBackend
+    ) -> str:
+        """Key of the node running ``stage``/``backend`` on ``parent_key``."""
+        return stage_node_key(parent_key, stage, backend)
+
+    def chain_keys(
+        self,
+        samples: np.ndarray,
+        stages: Sequence[StageDefinition],
+        backends: Mapping[str, ArithmeticBackend],
+    ) -> Dict[str, str]:
+        """Node keys of a full pipeline chain, by stage name.
+
+        Used by tests and benchmarks to reason about node identity without
+        running anything.
+        """
+        keys: Dict[str, str] = {}
+        key = self.root_key(samples)
+        for stage in stages:
+            key = self.node_key(key, stage, backends[stage.name])
+            keys[stage.name] = key
+        return keys
+
+    # ------------------------------------------------------------ traffic
+    def fetch(self, stage_name: str, key: str) -> Optional[np.ndarray]:
+        """Look up one node's output, accounting a hit when present.
+
+        A miss is *not* accounted here — the pipeline reports the compute via
+        :meth:`put` once the stage has actually run, so the counters always
+        sum to the number of stage runs resolved.
+        """
+        signal = self.store.get(key)
+        if signal is not None:
+            with self._lock:
+                self.stats.record(stage_name, hit=True)
+        return signal
+
+    def put(self, stage_name: str, key: str, signal: np.ndarray) -> None:
+        """Store one freshly computed node output (accounted as a compute)."""
+        with self._lock:
+            self.stats.record(stage_name, hit=False)
+        self.store.put(key, signal)
+
+    def resolve(self, stage_name: str, key: str, compute) -> np.ndarray:
+        """Resolve one node: from the store, or by running ``compute()``.
+
+        Single-flight semantics: when several threads miss the same node
+        concurrently, exactly one runs ``compute()`` while the others wait on
+        the node's lock stripe and are then served the stored output (and
+        accounted as hits) — so per-stage compute counts equal the number of
+        distinct nodes regardless of executor parallelism.
+        """
+        signal = self.fetch(stage_name, key)
+        if signal is not None:
+            return signal
+        stripe = self._stripes[hash(key) % self._N_STRIPES]
+        with stripe:
+            signal = self.fetch(stage_name, key)
+            if signal is not None:
+                return signal
+            signal = compute()
+            self.put(stage_name, key, signal)
+        return signal
+
+    # ------------------------------------------------------------ seeding
+    def seed(
+        self,
+        samples: np.ndarray,
+        stages: Sequence[StageDefinition],
+        backends: Mapping[str, ArithmeticBackend],
+        stage_outputs: Mapping[str, np.ndarray],
+    ) -> int:
+        """Inject precomputed stage outputs as graph nodes, without running.
+
+        This is the process-pool warm start: the parent ships its accurate
+        reference runs to the workers, which seed their graphs instead of
+        recomputing the accurate chain once per worker.  Neither hits nor
+        computes are accounted — the work happened elsewhere.
+
+        Returns the number of nodes written.
+        """
+        written = 0
+        key = self.root_key(samples)
+        for stage in stages:
+            key = self.node_key(key, stage, backends[stage.name])
+            output = stage_outputs.get(stage.name)
+            if output is None:
+                break
+            self.store.put(key, output)
+            written += 1
+        return written

@@ -10,12 +10,21 @@ The pipeline exposes every intermediate signal in its result object because
 the methodology evaluates quality at two points: the pre-processing output
 (high-pass-filtered signal, judged by PSNR/SSIM) and the final output (QRS
 peaks, judged by peak-detection accuracy).
+
+Execution is decomposed into *stage nodes*: :meth:`PanTompkinsPipeline.
+process` walks the stage plan one node at a time and, when given a stage
+memo (:class:`~repro.core.stage_graph.StageGraphMemo`), resolves each node
+through the memo's content-addressed store before computing it.  The memo
+protocol is deliberately tiny — ``root_key(samples)``, ``node_key(parent,
+stage, backend)`` and ``resolve(stage_name, key, compute)`` — so this module
+stays free of fingerprinting and storage concerns while designs that share a
+settings prefix share the memoized upstream signals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -141,9 +150,40 @@ class PanTompkinsPipeline:
         """Per-stage human-readable approximation summary."""
         return {name: self._backends[name].describe() for name in STAGE_NAMES}
 
+    def stage_plan(self) -> Tuple[Tuple[StageDefinition, ArithmeticBackend], ...]:
+        """The execution plan: (stage, backend) pairs in pipeline order.
+
+        This is the linear stage graph one pipeline run traverses; the
+        memoized executor keys each node off this plan.
+        """
+        return tuple(
+            (stage, self._backends[stage.name]) for stage in self.stages
+        )
+
     # ----------------------------------------------------------------- run
-    def process(self, samples: np.ndarray) -> PanTompkinsResult:
-        """Run the full pipeline on a 16-bit integer ECG recording."""
+    def process(
+        self,
+        samples: np.ndarray,
+        memo: Optional[object] = None,
+        root_key: Optional[str] = None,
+    ) -> PanTompkinsResult:
+        """Run the full pipeline on a 16-bit integer ECG recording.
+
+        Parameters
+        ----------
+        samples:
+            One-dimensional integer sample array.
+        memo:
+            Optional stage memo (:class:`~repro.core.stage_graph.
+            StageGraphMemo` or anything with the same four methods).  Each
+            stage node is looked up in the memo before being computed, and
+            fresh outputs are stored back — runs through a memo are
+            bit-identical to memo-less runs, they just skip recomputing
+            nodes the memo has already seen.
+        root_key:
+            Precomputed key of the root node (the raw samples); derived via
+            ``memo.root_key(samples)`` when omitted.  Ignored without a memo.
+        """
         samples = np.asarray(samples, dtype=np.int64)
         if samples.ndim != 1:
             raise ValueError("expected a one-dimensional sample array")
@@ -152,8 +192,21 @@ class PanTompkinsPipeline:
 
         result = PanTompkinsResult(sample_rate_hz=self.sample_rate_hz)
         current = samples
-        for stage in self.stages:
-            current = run_stage(current, stage, self._backends[stage.name])
+        if memo is not None and root_key is None:
+            root_key = memo.root_key(samples)
+        node_key = root_key
+        for stage, backend in self.stage_plan():
+            if memo is not None:
+                node_key = memo.node_key(node_key, stage, backend)
+                current = memo.resolve(
+                    stage.name,
+                    node_key,
+                    lambda signal=current, s=stage, b=backend: run_stage(
+                        signal, s, b
+                    ),
+                )
+            else:
+                current = run_stage(current, stage, backend)
             result.stage_outputs[stage.name] = current
 
         result.detection = detect_peaks(

@@ -16,8 +16,12 @@ Modules
     executors, deterministic ordering, batch deduplication).
 ``repro.runtime.cache``
     Result cache backends: in-memory LRU, JSON-per-entry directory and
-    SQLite, all checksummed with corruption detection and hit/miss/eviction
-    statistics.
+    SQLite, all checksummed with corruption detection, optional size-cap
+    eviction and hit/miss/eviction statistics.
+``repro.runtime.signal_store``
+    Intermediate-signal stores backing the stage graph
+    (:mod:`repro.core.stage_graph`): the same three backends, holding
+    memoized per-stage output signals instead of whole evaluations.
 ``repro.runtime.chunking``
     The batching policy used to split work across the pool.
 ``repro.runtime.telemetry``
@@ -37,9 +41,21 @@ from .cache import (
 )
 from .chunking import ChunkPolicy, chunked
 from .engine import EXECUTOR_KINDS, ExplorationRuntime, RuntimeStatistics
+from .signal_store import (
+    JSONDirectorySignalStore,
+    MemorySignalStore,
+    SignalStoreStats,
+    SQLiteSignalStore,
+    open_signal_store,
+)
 from .telemetry import ProgressEvent, ProgressLog, RuntimeTelemetry
 
 __all__ = [
+    "JSONDirectorySignalStore",
+    "MemorySignalStore",
+    "SignalStoreStats",
+    "SQLiteSignalStore",
+    "open_signal_store",
     "CacheStats",
     "JSONDirectoryCache",
     "MemoryResultCache",

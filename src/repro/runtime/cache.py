@@ -12,6 +12,12 @@ backends behind the :class:`ResultCache` interface:
 * :class:`SQLiteResultCache` — a single SQLite database file; the right
   choice when many processes or runs share one cache.
 
+The on-disk backends accept the same ``max_entries`` size cap as the memory
+cache: once over the cap, the oldest entries (by file modification time for
+the JSON directory, by insertion order for SQLite) are evicted and counted in
+:attr:`CacheStats.evictions`, so a long-running exploration cannot grow a
+cache directory or database without bound.
+
 Every persisted entry embeds a SHA-256 checksum of its payload.  A corrupted
 entry (truncated file, bit rot, concurrent writer crash, schema drift) is
 detected on read, counted in :attr:`CacheStats.corrupt`, dropped from the
@@ -42,10 +48,89 @@ __all__ = [
     "MemoryResultCache",
     "JSONDirectoryCache",
     "SQLiteResultCache",
+    "DirectoryEvictionIndex",
+    "evict_oldest_rows",
     "open_cache",
     "serialize_evaluation",
     "deserialize_evaluation",
 ]
+
+
+# ----------------------------------------------------------- size-cap helpers
+class DirectoryEvictionIndex:
+    """Insertion-ordered index of a directory-backed cache's entry files.
+
+    Shared by the JSON-directory result cache and signal store: both evict
+    oldest-first once over their ``max_entries`` cap.  The index seeds itself
+    from a modification-time scan of pre-existing files, then tracks puts in
+    insertion order — so eviction order is exact for entries written by this
+    process (no reliance on filesystem mtime granularity) and the per-put
+    cost is O(evicted), not a directory rescan.  Entries written concurrently
+    by *other* processes are outside the index; each process bounds the
+    entries it knows about.
+    """
+
+    def __init__(self, directory: str, suffix: str) -> None:
+        self.directory = directory
+        self.suffix = suffix
+        self._paths: "OrderedDict[str, None]" = OrderedDict()
+        seed = []
+        for name in os.listdir(directory):
+            if not name.endswith(suffix) or ".tmp." in name:
+                continue
+            path = os.path.join(directory, name)
+            try:
+                seed.append((os.path.getmtime(path), path))
+            except OSError:  # pragma: no cover - race with another process
+                continue
+        for _, path in sorted(seed):
+            self._paths[path] = None
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def record(self, path: str) -> None:
+        """Note that ``path`` was (re)written; it becomes the newest entry."""
+        self._paths.pop(path, None)
+        self._paths[path] = None
+
+    def forget(self, path: str) -> None:
+        """Note that ``path`` was removed outside of eviction."""
+        self._paths.pop(path, None)
+
+    def evict_over_cap(self, max_entries: Optional[int], drop) -> int:
+        """Drop oldest entries until at most ``max_entries`` remain."""
+        if max_entries is None:
+            return 0
+        evicted = 0
+        while len(self._paths) > max_entries:
+            path, _ = self._paths.popitem(last=False)
+            drop(path)
+            evicted += 1
+        return evicted
+
+
+def evict_oldest_rows(
+    connection: sqlite3.Connection, table: str, max_entries: Optional[int]
+) -> int:
+    """Delete the oldest rows of ``table`` beyond ``max_entries``.
+
+    ``INSERT OR REPLACE`` always assigns a fresh rowid, so rowid order is
+    insertion order and the smallest rowids are the oldest entries.  The
+    caller commits.
+    """
+    if max_entries is None:
+        return 0
+    (count,) = connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+    excess = int(count) - max_entries
+    if excess <= 0:
+        return 0
+    connection.execute(
+        f"DELETE FROM {table} WHERE rowid IN ("
+        f" SELECT rowid FROM {table} ORDER BY rowid ASC LIMIT ?)",
+        (excess,),
+    )
+    return excess
 
 
 # --------------------------------------------------------------- statistics
@@ -254,12 +339,25 @@ class MemoryResultCache(ResultCache):
 
 
 class JSONDirectoryCache(ResultCache):
-    """One checksummed JSON file per entry inside ``directory``."""
+    """One checksummed JSON file per entry inside ``directory``.
 
-    def __init__(self, directory: str) -> None:
+    ``max_entries`` bounds the directory: after every write the oldest files
+    (by modification time) beyond the cap are removed and counted as
+    evictions.
+    """
+
+    def __init__(self, directory: str, max_entries: Optional[int] = None) -> None:
         super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = directory
+        self.max_entries = max_entries
         os.makedirs(directory, exist_ok=True)
+        self._index = (
+            DirectoryEvictionIndex(directory, ".json")
+            if max_entries is not None
+            else None
+        )
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
@@ -281,8 +379,9 @@ class JSONDirectoryCache(ResultCache):
             self._drop(path)
         return evaluation
 
-    @staticmethod
-    def _drop(path: str) -> None:
+    def _drop(self, path: str) -> None:
+        if self._index is not None:
+            self._index.forget(path)
         try:
             os.remove(path)
         except OSError:  # pragma: no cover - race with another process
@@ -294,6 +393,18 @@ class JSONDirectoryCache(ResultCache):
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(_encode_entry(evaluation), handle, sort_keys=True)
         os.replace(tmp, path)
+        if self._index is not None:
+            self._index.record(path)
+            self.stats.evictions += self._index.evict_over_cap(
+                self.max_entries, self._remove_file
+            )
+
+    @staticmethod
+    def _remove_file(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - race with another process
+            pass
 
     def __len__(self) -> int:
         return sum(
@@ -307,11 +418,19 @@ class JSONDirectoryCache(ResultCache):
 
 
 class SQLiteResultCache(ResultCache):
-    """All entries in one SQLite database file (share-friendly across runs)."""
+    """All entries in one SQLite database file (share-friendly across runs).
 
-    def __init__(self, path: str) -> None:
+    ``max_entries`` bounds the table: after every write the oldest rows (by
+    insertion order — ``INSERT OR REPLACE`` always assigns a fresh rowid) are
+    deleted and counted as evictions.
+    """
+
+    def __init__(self, path: str, max_entries: Optional[int] = None) -> None:
         super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.path = path
+        self.max_entries = max_entries
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._connection = sqlite3.connect(path)
@@ -350,6 +469,9 @@ class SQLiteResultCache(ResultCache):
             " VALUES (?, ?, ?)",
             (key, entry["checksum"], json.dumps(entry["payload"], sort_keys=True)),
         )
+        self.stats.evictions += evict_oldest_rows(
+            self._connection, "evaluations", self.max_entries
+        )
         self._connection.commit()
 
     def __len__(self) -> int:
@@ -367,15 +489,18 @@ class SQLiteResultCache(ResultCache):
         self._connection.close()
 
 
-def open_cache(path: Optional[str] = None) -> ResultCache:
+def open_cache(
+    path: Optional[str] = None, max_entries: Optional[int] = None
+) -> ResultCache:
     """Open the right cache backend for ``path``.
 
-    ``None`` gives an unbounded in-memory cache, a path ending in ``.sqlite``
-    / ``.db`` a :class:`SQLiteResultCache`, anything else a
-    :class:`JSONDirectoryCache` rooted at the path.
+    ``None`` gives an in-memory cache, a path ending in ``.sqlite`` / ``.db``
+    a :class:`SQLiteResultCache`, anything else a :class:`JSONDirectoryCache`
+    rooted at the path.  ``max_entries`` caps any backend (``None`` keeps it
+    unbounded).
     """
     if path is None:
-        return MemoryResultCache()
+        return MemoryResultCache(max_entries=max_entries)
     if path.endswith((".sqlite", ".sqlite3", ".db")):
-        return SQLiteResultCache(path)
-    return JSONDirectoryCache(path)
+        return SQLiteResultCache(path, max_entries=max_entries)
+    return JSONDirectoryCache(path, max_entries=max_entries)

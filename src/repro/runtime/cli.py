@@ -16,10 +16,13 @@ Three subcommands drive the :class:`~repro.runtime.ExplorationRuntime`:
 
 All subcommands share the runtime options: ``--records``, ``--duration``,
 ``--executor``, ``--workers``, ``--cache`` (a ``.sqlite``/``.db`` file or a
-JSON cache directory, persisted across invocations) and ``--verbose`` for
-per-design progress lines.  Every run ends with the runtime's execution and
-cache statistics, including the measured speedup over the paper's ~300 s
-per-evaluation serial cost model.
+JSON cache directory, persisted across invocations), ``--cache-max-entries``
+(size-cap eviction for the result cache), ``--signal-store`` (a persistent
+store for the stage graph's intermediate signals, same path conventions as
+``--cache``) and ``--verbose`` for per-design progress lines.  Every run ends
+with the runtime's execution and cache statistics — including the per-stage
+hit rates of the stage-graph signal store and the measured speedup over the
+paper's ~300 s per-evaluation serial cost model.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from ..core.resilience import analyze_stage_resilience
 from ..signals.records import load_record
 from .cache import open_cache
 from .engine import EXECUTOR_KINDS, ExplorationRuntime
+from .signal_store import open_signal_store
 from .telemetry import ProgressEvent
 
 __all__ = ["build_parser", "main"]
@@ -62,6 +66,19 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="persistent result cache: a .sqlite/.db file or a directory "
              "of JSON entries (default: in-memory)")
     group.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="size cap of the result cache; oldest entries are evicted "
+             "(default: unbounded)")
+    group.add_argument(
+        "--signal-store", default=None, metavar="PATH",
+        help="persistent store for memoized intermediate stage signals: "
+             "a .sqlite/.db file or a directory of JSON entries "
+             "(default: bounded in-memory store)")
+    group.add_argument(
+        "--signal-store-max-entries", type=int, default=None, metavar="N",
+        help="size cap of the persistent signal store; oldest nodes are "
+             "evicted (default: unbounded)")
+    group.add_argument(
         "--chunk-size", type=int, default=None,
         help="designs per worker chunk (default: derived from batch size)")
     group.add_argument(
@@ -75,6 +92,15 @@ def _make_runtime(args: argparse.Namespace) -> ExplorationRuntime:
         raise SystemExit("error: --records needs at least one record name")
     if args.workers is not None and args.workers < 1:
         raise SystemExit(f"error: --workers must be >= 1, got {args.workers}")
+    if args.cache_max_entries is not None and args.cache_max_entries < 1:
+        raise SystemExit(
+            f"error: --cache-max-entries must be >= 1, got {args.cache_max_entries}"
+        )
+    if args.signal_store_max_entries is not None and args.signal_store_max_entries < 1:
+        raise SystemExit(
+            "error: --signal-store-max-entries must be >= 1, got "
+            f"{args.signal_store_max_entries}"
+        )
     records = [load_record(name, duration_s=args.duration) for name in names]
     progress = None
     if args.verbose:
@@ -85,13 +111,21 @@ def _make_runtime(args: argparse.Namespace) -> ExplorationRuntime:
         from .chunking import ChunkPolicy
 
         chunk_policy = ChunkPolicy(chunk_size=args.chunk_size)
+    signal_store = None
+    if args.signal_store is not None:
+        # Persistent stores default to unbounded (like --cache); pass
+        # --signal-store-max-entries to cap them.
+        signal_store = open_signal_store(
+            args.signal_store, max_entries=args.signal_store_max_entries
+        )
     return ExplorationRuntime(
         records,
         executor=args.executor,
         max_workers=args.workers,
-        cache=open_cache(args.cache),
+        cache=open_cache(args.cache, max_entries=args.cache_max_entries),
         chunk_policy=chunk_policy,
         progress=progress,
+        signal_store=signal_store,
     )
 
 

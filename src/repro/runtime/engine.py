@@ -42,6 +42,7 @@ from ..dsp.detection import PeakDetectionConfig
 from ..signals.records import ECGRecord
 from .cache import MemoryResultCache, ResultCache
 from .chunking import ChunkPolicy, chunked
+from .signal_store import open_signal_store, signal_store_spec
 from .telemetry import ProgressCallback, ProgressEvent, RuntimeTelemetry
 
 __all__ = ["EXECUTOR_KINDS", "RuntimeStatistics", "ExplorationRuntime"]
@@ -51,8 +52,10 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 # ----------------------------------------------------- process-pool plumbing
-# Each worker process builds its own evaluator once (accurate reference runs
-# included) and reuses it for every chunk it receives.
+# Each worker process builds its own evaluator once and reuses it for every
+# chunk it receives.  The parent ships its accurate reference runs along
+# (warm start), so workers seed their stage graphs instead of recomputing
+# the accurate chain once per worker.
 _WORKER_EVALUATOR: Optional[DesignEvaluator] = None
 
 
@@ -60,12 +63,23 @@ def _init_process_worker(
     records: List[ECGRecord],
     detection_config: Optional[PeakDetectionConfig],
     peak_tolerance_samples: int,
+    accurate: Optional[Dict[str, object]] = None,
+    store_spec: Optional[tuple] = None,
 ) -> None:
     global _WORKER_EVALUATOR
+    signal_store = None
+    if store_spec is not None:
+        # Persistent signal stores cannot cross the process boundary as
+        # objects; each worker reopens the same on-disk store so stage-node
+        # reuse spans the whole pool (and later runs).
+        path, max_entries = store_spec
+        signal_store = open_signal_store(path, max_entries=max_entries)
     _WORKER_EVALUATOR = DesignEvaluator(
         records,
         detection_config=detection_config,
         peak_tolerance_samples=peak_tolerance_samples,
+        accurate_results=accurate,
+        signal_store=signal_store,
     )
 
 
@@ -93,6 +107,8 @@ class RuntimeStatistics:
     modeled_serial_s: float
     speedup_vs_model: float
     cache: Dict[str, float]
+    stage_hit_rate: float = 0.0
+    stage_cache: Dict[str, Dict[str, float]] = None  # type: ignore[assignment]
 
     def report(self) -> str:
         """Multi-line human-readable summary (used by the CLI)."""
@@ -106,6 +122,17 @@ class RuntimeStatistics:
             f"modeled serial   : {self.modeled_serial_s:.0f} s "
             f"(speedup x{self.speedup_vs_model:.1f})",
         ]
+        if self.stage_cache:
+            lines.append(
+                f"stage-node reuse : {self.stage_hit_rate * 100:.1f}% of stage "
+                "runs served from the signal store"
+            )
+            for name, row in self.stage_cache.items():
+                lines.append(
+                    f"  {name:<24}: {int(row['computes'])} computed, "
+                    f"{int(row['hits'])} reused "
+                    f"({row['hit_rate'] * 100:.1f}% hit rate)"
+                )
         return "\n".join(lines)
 
 
@@ -125,6 +152,10 @@ class ExplorationRuntime:
         a :class:`~repro.runtime.cache.SQLiteResultCache` or
         :class:`~repro.runtime.cache.JSONDirectoryCache` to persist results
         across runs.
+    signal_store:
+        Intermediate-signal store backing the stage graph; defaults to a
+        bounded in-process store.  Pass a persistent backend from
+        :mod:`repro.runtime.signal_store` to reuse stage outputs across runs.
     executor:
         ``"serial"``, ``"thread"`` or ``"process"``.
     max_workers:
@@ -146,6 +177,7 @@ class ExplorationRuntime:
         max_workers: Optional[int] = None,
         chunk_policy: Optional[ChunkPolicy] = None,
         progress: Optional[ProgressCallback] = None,
+        signal_store: Optional[object] = None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -155,6 +187,7 @@ class ExplorationRuntime:
             records,
             detection_config=detection_config,
             peak_tolerance_samples=peak_tolerance_samples,
+            signal_store=signal_store,
         )
         self.detection_config = detection_config
         self.peak_tolerance_samples = peak_tolerance_samples
@@ -202,6 +235,21 @@ class ExplorationRuntime:
     def accurate_result(self, record: ECGRecord):
         """The accurate pipeline result for one of the records."""
         return self._core.accurate_result(record)
+
+    @property
+    def stage_memo(self):
+        """The stage-graph memo shared by this runtime's pipeline runs."""
+        return self._core.stage_memo
+
+    @property
+    def stage_stats(self):
+        """Per-stage hit/compute accounting of the stage graph.
+
+        Process-pool workers keep their own graphs, so with
+        ``executor="process"`` these counters only cover the parent process
+        (the accurate reference runs and any inline evaluations).
+        """
+        return self._core.stage_stats
 
     def evaluate(self, design: DesignPoint, use_cache: bool = True) -> DesignEvaluation:
         """Evaluate a single design (through the cache, inline)."""
@@ -288,6 +336,7 @@ class ExplorationRuntime:
 
         elapsed = time.perf_counter() - started
         self.telemetry.record_batch(len(misses), len(hit_indices), elapsed)
+        self.telemetry.update_stage_stats(self._core.stage_stats.as_dict())
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------ execution
@@ -326,12 +375,16 @@ class ExplorationRuntime:
             yield from future.result()
 
     def _evaluate_inline(self, design: DesignPoint) -> DesignEvaluation:
+        # The stage memo is thread-safe, so thread-pool workers share the
+        # parent's stage graph: designs with a common settings prefix reuse
+        # upstream stage outputs regardless of which worker runs them.
         return run_design_evaluation(
             design,
             self._core.records,
             self._accurate,
             detection_config=self.detection_config,
             peak_tolerance_samples=self.peak_tolerance_samples,
+            stage_memo=self._core.stage_memo,
         )
 
     def _evaluate_chunk_local(
@@ -354,6 +407,13 @@ class ExplorationRuntime:
                         self._core.records,
                         self.detection_config,
                         self.peak_tolerance_samples,
+                        # Warm start: workers seed their stage graphs from
+                        # the parent's accurate runs instead of recomputing
+                        # them once per worker.
+                        self._core.accurate_results,
+                        # Persistent signal stores are reopened per worker so
+                        # stage-node reuse spans the pool.
+                        signal_store_spec(self._core.stage_memo.store),
                     ),
                 )
         return self._executor
@@ -377,6 +437,7 @@ class ExplorationRuntime:
     ) -> RuntimeStatistics:
         """Execution + cache snapshot, measured against the Fig. 11 model."""
         telemetry = self.telemetry
+        stage_stats = self._core.stage_stats
         return RuntimeStatistics(
             executor=self.executor_kind,
             max_workers=self.max_workers,
@@ -388,4 +449,6 @@ class ExplorationRuntime:
             modeled_serial_s=telemetry.modeled_duration_s(cost_model),
             speedup_vs_model=telemetry.speedup_vs_model(cost_model),
             cache=self.cache.stats.as_dict(),
+            stage_hit_rate=stage_stats.hit_rate(),
+            stage_cache=stage_stats.as_dict(),
         )

@@ -1,0 +1,384 @@
+"""Persistent intermediate-signal stores for the stage graph.
+
+The stage-graph executor (:mod:`repro.core.stage_graph`) memoizes each stage
+run's output signal under a content-addressed node key.  Its default store is
+in-process memory; the backends here persist the node outputs so stage-level
+reuse survives across runs and is shareable between processes — the same
+trade-offs as the result caches of :mod:`repro.runtime.cache`, applied one
+level down the execution hierarchy:
+
+* :class:`MemorySignalStore` — re-export of the in-process LRU store (for
+  symmetry with :func:`open_signal_store`).
+* :class:`JSONDirectorySignalStore` — one JSON file per node (dtype, shape
+  and base64-encoded payload); human-inspectable, trivially mergeable.
+* :class:`SQLiteSignalStore` — one SQLite database file holding the signals
+  as checksummed BLOBs; the right choice when many runs share one store.
+
+Every persisted node embeds a SHA-256 checksum; a corrupted entry is counted,
+dropped and reported as a miss, so the executor transparently recomputes the
+stage.  All stores are size-capped (``max_entries``) with oldest-first
+eviction and eviction accounting, because a long exploration writes far more
+intermediate signals than final results.
+
+Stores are thread-safe: the stage graph resolves nodes from inside the
+thread pool of :class:`~repro.runtime.engine.ExplorationRuntime`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.stage_graph import DEFAULT_STORE_ENTRIES, MemoryStageStore
+from .cache import DirectoryEvictionIndex, evict_oldest_rows
+
+__all__ = [
+    "SignalStoreStats",
+    "MemorySignalStore",
+    "JSONDirectorySignalStore",
+    "SQLiteSignalStore",
+    "open_signal_store",
+    "signal_store_spec",
+]
+
+#: The in-process store lives in :mod:`repro.core.stage_graph` (the executor
+#: needs it without depending on the runtime layer); it is re-exported here
+#: so the three signal-store backends sit behind one import path.
+MemorySignalStore = MemoryStageStore
+
+
+@dataclass
+class SignalStoreStats:
+    """Hit/miss/eviction accounting of one persistent signal store."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (telemetry / CLI reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate,
+        }
+
+
+# ------------------------------------------------------------ serialization
+def _encode_signal(signal: np.ndarray) -> Dict[str, object]:
+    signal = np.ascontiguousarray(signal)
+    data = base64.b64encode(signal.tobytes()).decode("ascii")
+    payload = {
+        "dtype": str(signal.dtype),
+        "shape": list(signal.shape),
+        "data": data,
+    }
+    payload["checksum"] = _signal_checksum(payload)
+    return payload
+
+
+def _signal_checksum(payload: Dict[str, object]) -> str:
+    text = json.dumps(
+        {k: payload[k] for k in ("dtype", "shape", "data")},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _decode_signal(payload: Dict[str, object]) -> Optional[np.ndarray]:
+    """Decode a persisted node; ``None`` when it fails verification."""
+    try:
+        if payload["checksum"] != _signal_checksum(payload):
+            return None
+        raw = base64.b64decode(payload["data"])
+        signal = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        signal = signal.reshape(tuple(int(n) for n in payload["shape"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+    signal = signal.copy()
+    signal.setflags(write=False)
+    return signal
+
+
+def _blob_checksum(dtype: str, shape: str, blob: bytes) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(dtype.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(shape.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(blob)
+    return hasher.hexdigest()
+
+
+# ------------------------------------------------------------------ backends
+class JSONDirectorySignalStore:
+    """One checksummed JSON file per stage-graph node inside ``directory``."""
+
+    def __init__(
+        self,
+        directory: str,
+        max_entries: Optional[int] = DEFAULT_STORE_ENTRIES,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.directory = directory
+        self.max_entries = max_entries
+        self.stats = SignalStoreStats()
+        self._lock = threading.Lock()
+        os.makedirs(directory, exist_ok=True)
+        self._index = (
+            DirectoryEvictionIndex(directory, ".signal.json")
+            if max_entries is not None
+            else None
+        )
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.signal.json")
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The stored signal for ``key`` (read-only), or ``None`` on a miss."""
+        path = self._path(key)
+        with self._lock:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except (OSError, json.JSONDecodeError):
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                self._drop(path)
+                return None
+            signal = _decode_signal(payload)
+            if signal is None:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                self._drop(path)
+                return None
+            self.stats.hits += 1
+            return signal
+
+    def put(self, key: str, signal: np.ndarray) -> None:
+        """Store ``signal`` under ``key`` (atomic write, then evict to cap)."""
+        path = self._path(key)
+        with self._lock:
+            self.stats.puts += 1
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(_encode_signal(signal), handle)
+            os.replace(tmp, path)
+            if self._index is not None:
+                self._index.record(path)
+                self.stats.evictions += self._index.evict_over_cap(
+                    self.max_entries, self._remove_file
+                )
+
+    def _drop(self, path: str) -> None:
+        if self._index is not None:
+            self._index.forget(path)
+        self._remove_file(path)
+
+    @staticmethod
+    def _remove_file(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - race with another process
+            pass
+
+    def _entry_paths(self) -> list:
+        return [
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if name.endswith(".signal.json")
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entry_paths())
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def clear(self) -> None:
+        """Drop every stored node (statistics are kept)."""
+        with self._lock:
+            for path in self._entry_paths():
+                self._drop(path)
+
+
+class SQLiteSignalStore:
+    """All stage-graph nodes in one SQLite database file."""
+
+    def __init__(
+        self,
+        path: str,
+        max_entries: Optional[int] = DEFAULT_STORE_ENTRIES,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.path = path
+        self.max_entries = max_entries
+        self.stats = SignalStoreStats()
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        # One connection shared across the runtime's worker threads, guarded
+        # by the store lock.  The busy timeout and WAL journal let several
+        # processes (the warm-started worker pool) write the same store
+        # concurrently without "database is locked" failures.
+        self._connection = sqlite3.connect(
+            path, check_same_thread=False, timeout=30.0
+        )
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:  # pragma: no cover - e.g. read-only fs
+            pass
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS signals ("
+            " key TEXT PRIMARY KEY,"
+            " dtype TEXT NOT NULL,"
+            " shape TEXT NOT NULL,"
+            " checksum TEXT NOT NULL,"
+            " payload BLOB NOT NULL)"
+        )
+        self._connection.commit()
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The stored signal for ``key`` (read-only), or ``None`` on a miss."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT dtype, shape, checksum, payload FROM signals"
+                " WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            dtype, shape, checksum, blob = row
+            signal = self._decode_row(dtype, shape, checksum, blob)
+            if signal is None:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                self._connection.execute(
+                    "DELETE FROM signals WHERE key = ?", (key,)
+                )
+                self._connection.commit()
+                return None
+            self.stats.hits += 1
+            return signal
+
+    @staticmethod
+    def _decode_row(
+        dtype: str, shape: str, checksum: str, blob: bytes
+    ) -> Optional[np.ndarray]:
+        if _blob_checksum(dtype, shape, blob) != checksum:
+            return None
+        try:
+            parsed: Tuple[int, ...] = tuple(int(n) for n in json.loads(shape))
+            signal = np.frombuffer(blob, dtype=np.dtype(dtype)).reshape(parsed)
+        except (TypeError, ValueError, json.JSONDecodeError):
+            return None
+        signal = signal.copy()
+        signal.setflags(write=False)
+        return signal
+
+    def put(self, key: str, signal: np.ndarray) -> None:
+        """Store ``signal`` under ``key`` and evict oldest rows over the cap."""
+        signal = np.ascontiguousarray(signal)
+        dtype = str(signal.dtype)
+        shape = json.dumps(list(signal.shape))
+        blob = signal.tobytes()
+        with self._lock:
+            self.stats.puts += 1
+            self._connection.execute(
+                "INSERT OR REPLACE INTO signals"
+                " (key, dtype, shape, checksum, payload) VALUES (?, ?, ?, ?, ?)",
+                (key, dtype, shape, _blob_checksum(dtype, shape, blob), blob),
+            )
+            self.stats.evictions += evict_oldest_rows(
+                self._connection, "signals", self.max_entries
+            )
+            self._connection.commit()
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM signals"
+            ).fetchone()
+            return int(count)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM signals WHERE key = ?", (key,)
+            ).fetchone()
+            return row is not None
+
+    def clear(self) -> None:
+        """Drop every stored node (statistics are kept)."""
+        with self._lock:
+            self._connection.execute("DELETE FROM signals")
+            self._connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._connection.close()
+
+
+def open_signal_store(
+    path: Optional[str] = None,
+    max_entries: Optional[int] = DEFAULT_STORE_ENTRIES,
+):
+    """Open the right signal-store backend for ``path``.
+
+    ``None`` gives the in-process :class:`MemorySignalStore`, a path ending
+    in ``.sqlite`` / ``.db`` a :class:`SQLiteSignalStore`, anything else a
+    :class:`JSONDirectorySignalStore` rooted at the path — mirroring
+    :func:`repro.runtime.cache.open_cache` one level down.
+    """
+    if path is None:
+        return MemorySignalStore(max_entries=max_entries)
+    if path.endswith((".sqlite", ".sqlite3", ".db")):
+        return SQLiteSignalStore(path, max_entries=max_entries)
+    return JSONDirectorySignalStore(path, max_entries=max_entries)
+
+
+def signal_store_spec(store: object) -> Optional[Tuple[str, Optional[int]]]:
+    """A picklable ``(path, max_entries)`` descriptor of a persistent store.
+
+    Used by the process-pool executor: SQLite connections and file handles
+    cannot cross a ``fork``/``spawn`` boundary, so each worker reopens the
+    store from this descriptor (via :func:`open_signal_store`) and shares the
+    same on-disk nodes as the parent.  Returns ``None`` for in-memory stores,
+    which stay private per worker.
+    """
+    if isinstance(store, SQLiteSignalStore):
+        return (store.path, store.max_entries)
+    if isinstance(store, JSONDirectorySignalStore):
+        return (store.directory, store.max_entries)
+    return None

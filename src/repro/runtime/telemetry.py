@@ -11,7 +11,9 @@ The runtime reports two kinds of signals:
   evaluations-per-second and, given an
   :class:`~repro.core.exploration_time.ExplorationCostModel`, the measured
   speedup over the paper's modeled serial exploration cost (the Fig. 11
-  yardstick).
+  yardstick).  It also mirrors the stage-graph hit/compute counters (how many
+  stage runs were served from the intermediate-signal store instead of being
+  recomputed), refreshed after every batch.
 """
 
 from __future__ import annotations
@@ -68,6 +70,7 @@ class RuntimeTelemetry:
     cache_hits: int = 0
     batches: int = 0
     busy_s: float = 0.0
+    stage_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     _started_at: float = field(default_factory=time.monotonic, repr=False)
 
     # ----------------------------------------------------------- recording
@@ -77,6 +80,16 @@ class RuntimeTelemetry:
         self.cache_hits += hits
         self.batches += 1
         self.busy_s += elapsed_s
+
+    def update_stage_stats(self, stats: Dict[str, Dict[str, float]]) -> None:
+        """Mirror the latest cumulative stage-graph counters.
+
+        The stage graph owns the authoritative counters (they advance inside
+        worker threads, mid-batch); the runtime pushes a snapshot here after
+        each batch so telemetry consumers see stage-level reuse next to the
+        evaluation-level numbers.
+        """
+        self.stage_stats = {name: dict(row) for name, row in stats.items()}
 
     # ------------------------------------------------------------- derived
     @property
@@ -115,6 +128,16 @@ class RuntimeTelemetry:
             return float("inf") if self.designs_resolved else 1.0
         return self.modeled_duration_s(cost_model) / self.busy_s
 
+    @property
+    def stage_hit_rate(self) -> float:
+        """Fraction of stage runs served from the signal store (mirrored)."""
+        hits = sum(row.get("hits", 0) for row in self.stage_stats.values())
+        computes = sum(
+            row.get("computes", 0) for row in self.stage_stats.values()
+        )
+        resolved = hits + computes
+        return hits / resolved if resolved else 0.0
+
     def snapshot(self) -> Dict[str, float]:
         """Plain-dict rendering for reports and the CLI."""
         return {
@@ -126,6 +149,10 @@ class RuntimeTelemetry:
             "busy_s": self.busy_s,
             "wall_clock_s": self.wall_clock_s,
             "evaluations_per_second": self.evaluations_per_second,
+            "stage_hit_rate": self.stage_hit_rate,
+            "stage_stats": {
+                name: dict(row) for name, row in self.stage_stats.items()
+            },
         }
 
 

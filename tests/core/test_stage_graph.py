@@ -1,0 +1,271 @@
+"""Stage-graph memoization: keys, stores, bit-identical execution, accounting.
+
+The contract under test is the acceptance criterion of the stage-graph
+refactor: execution through the memo must be *bit-identical* to cold
+execution on every stage output, every peak index and every quality metric,
+while computing each distinct stage node exactly once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import ArithmeticBackend, accurate_backend
+from repro.core import (
+    DesignEvaluator,
+    DesignPoint,
+    MemoryStageStore,
+    StageGraphMemo,
+    StageGraphStats,
+    paper_configuration,
+)
+from repro.core.fingerprint import (
+    backend_fingerprint,
+    signal_root_key,
+    stage_fingerprint,
+    stage_node_key,
+)
+from repro.core.quality import run_design_evaluation
+from repro.dsp.pan_tompkins import PanTompkinsPipeline
+from repro.dsp.stages import STAGE_LPF, STAGE_MWI, pan_tompkins_stages
+from repro.signals import load_record
+
+#: Per-stage LSB bounds of the paper's design space (Section 6.2 limits for
+#: the signal-processing stages), used to draw randomized designs.
+_STAGE_BOUNDS = {"lpf": 16, "hpf": 16, "der": 4, "sqr": 8, "mwi": 16}
+
+
+def _random_designs(count: int, seed: int) -> list:
+    rng = np.random.RandomState(seed)
+    designs = []
+    for index in range(count):
+        lsbs = {
+            stage: int(rng.randint(0, bound + 1))
+            for stage, bound in _STAGE_BOUNDS.items()
+            if rng.rand() < 0.7
+        }
+        designs.append(DesignPoint.from_lsbs(lsbs, name=f"rand-{index}"))
+    return designs
+
+
+# --------------------------------------------------------------- fingerprints
+class TestNodeKeys:
+    def test_stage_fingerprint_is_stable_and_content_sensitive(self):
+        assert stage_fingerprint(STAGE_LPF) == stage_fingerprint(STAGE_LPF)
+        assert stage_fingerprint(STAGE_LPF) != stage_fingerprint(STAGE_MWI)
+
+    def test_accurate_backends_collapse_onto_one_fingerprint(self):
+        # An "approximate" backend built from exact cells behaves bit-exactly
+        # and must share the accurate chain.
+        exact_cells = ArithmeticBackend(
+            approx_lsbs=5, adder_cell="Accurate", multiplier_cell="AccMult"
+        )
+        assert exact_cells.is_accurate
+        assert backend_fingerprint(exact_cells) == backend_fingerprint(
+            accurate_backend()
+        )
+
+    def test_approximation_setting_changes_the_fingerprint(self):
+        a = ArithmeticBackend(
+            approx_lsbs=4, adder_cell="ApproxAdd5", multiplier_cell="AppMultV1"
+        )
+        b = ArithmeticBackend(
+            approx_lsbs=8, adder_cell="ApproxAdd5", multiplier_cell="AppMultV1"
+        )
+        c = ArithmeticBackend(
+            approx_lsbs=4, adder_cell="ApproxAdd1", multiplier_cell="AppMultV1"
+        )
+        assert backend_fingerprint(a) != backend_fingerprint(b)
+        assert backend_fingerprint(a) != backend_fingerprint(c)
+        assert backend_fingerprint(a) != backend_fingerprint(accurate_backend())
+
+    def test_node_key_chains_the_whole_prefix(self):
+        backend = ArithmeticBackend(
+            approx_lsbs=4, adder_cell="ApproxAdd5", multiplier_cell="AppMultV1"
+        )
+        root_a = signal_root_key(np.arange(10, dtype=np.int64))
+        root_b = signal_root_key(np.arange(11, dtype=np.int64))
+        key_a = stage_node_key(root_a, STAGE_LPF, backend)
+        # Same stage and backend on different upstream data: different node.
+        assert key_a != stage_node_key(root_b, STAGE_LPF, backend)
+        # Same upstream, different backend: different node.
+        assert key_a != stage_node_key(root_a, STAGE_LPF, accurate_backend())
+
+    def test_root_key_covers_dtype_and_content(self):
+        samples = np.arange(32, dtype=np.int64)
+        assert signal_root_key(samples) == signal_root_key(samples.copy())
+        assert signal_root_key(samples) != signal_root_key(
+            samples.astype(np.int32)
+        )
+        changed = samples.copy()
+        changed[3] += 1
+        assert signal_root_key(samples) != signal_root_key(changed)
+
+
+# ---------------------------------------------------------------- node store
+class TestMemoryStageStore:
+    def test_round_trip_returns_frozen_equal_array(self):
+        store = MemoryStageStore()
+        signal = np.arange(16, dtype=np.int64)
+        store.put("k", signal)
+        out = store.get("k")
+        np.testing.assert_array_equal(out, signal)
+        assert not out.flags.writeable
+        # Mutating the original after the put must not affect the store.
+        signal[0] = 999
+        np.testing.assert_array_equal(store.get("k")[:1], [0])
+
+    def test_lru_eviction_and_accounting(self):
+        store = MemoryStageStore(max_entries=2)
+        store.put("a", np.zeros(4, dtype=np.int64))
+        store.put("b", np.ones(4, dtype=np.int64))
+        store.get("a")  # refresh: "b" becomes least recently used
+        store.put("c", np.full(4, 2, dtype=np.int64))
+        assert store.evictions == 1
+        assert "a" in store and "c" in store and "b" not in store
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            MemoryStageStore(max_entries=0)
+
+
+# --------------------------------------------------------- memoized execution
+class TestMemoizedPipelineExecution:
+    def test_memoized_run_is_bit_identical_to_cold_run(self, short_record):
+        design = paper_configuration("B9")
+        pipeline = PanTompkinsPipeline(backends=design.backends())
+        cold = pipeline.process(short_record.samples)
+        memo = StageGraphMemo()
+        warm_miss = pipeline.process(short_record.samples, memo=memo)
+        warm_hit = pipeline.process(short_record.samples, memo=memo)
+        for name in cold.stage_outputs:
+            np.testing.assert_array_equal(
+                cold.stage_outputs[name], warm_miss.stage_outputs[name]
+            )
+            np.testing.assert_array_equal(
+                cold.stage_outputs[name], warm_hit.stage_outputs[name]
+            )
+        np.testing.assert_array_equal(cold.peak_indices, warm_hit.peak_indices)
+        # The second run resolved every stage from the store.
+        assert memo.stats.total_computes == 5
+        assert memo.stats.total_hits == 5
+
+    def test_randomized_designs_and_records_match_cold_execution(self):
+        records = [
+            load_record("16265", duration_s=5.0),
+            load_record("16272", duration_s=5.0),
+        ]
+        evaluator = DesignEvaluator(records)
+        for design in _random_designs(12, seed=7):
+            warm = evaluator.evaluate(design)
+            cold = run_design_evaluation(
+                design, evaluator.records, evaluator.accurate_results
+            )
+            assert warm.psnr_db == cold.psnr_db
+            assert warm.ssim_value == cold.ssim_value
+            assert warm.peak_accuracy == cold.peak_accuracy
+            assert warm.detected_peaks == cold.detected_peaks
+            assert warm.per_record_accuracy == cold.per_record_accuracy
+
+    def test_shared_prefix_designs_reuse_upstream_nodes(self, short_record):
+        evaluator = DesignEvaluator([short_record])
+        # Both designs share the lpf=10 prefix; the second run must reuse the
+        # memoized low-pass node and only compute downstream stages.
+        evaluator.evaluate(DesignPoint.from_lsbs({"lpf": 10, "hpf": 8}))
+        before = evaluator.stage_stats.computes_for("low_pass")
+        evaluator.evaluate(DesignPoint.from_lsbs({"lpf": 10, "hpf": 12}))
+        stats = evaluator.stage_stats
+        assert stats.computes_for("low_pass") == before
+        assert stats.hits_for("low_pass") >= 1
+
+    def test_stage_hit_accounting_over_the_paper_configurations(
+        self, short_record
+    ):
+        evaluator = DesignEvaluator([short_record])
+        designs = [paper_configuration(f"B{i}") for i in range(1, 15)]
+        for design in designs:
+            evaluator.evaluate(design)
+        stats = evaluator.stage_stats
+        # Distinct LPF settings across accurate + B1..B14: {0, 10, 12}.
+        assert stats.computes_for("low_pass") == 3
+        # Distinct (lpf, hpf) prefixes: accurate + the four Fig. 12 combos.
+        assert stats.computes_for("high_pass") == 5
+        # Every one of the 15 runs resolved both pre-processing stages.
+        assert stats.computes_for("low_pass") + stats.hits_for("low_pass") == 15
+        assert stats.computes_for("high_pass") + stats.hits_for("high_pass") == 15
+        # All 14 approximate designs have distinct full prefixes downstream.
+        assert stats.computes_for("moving_window_integral") == 15
+
+    def test_single_flight_under_concurrent_misses(self, short_record):
+        design = paper_configuration("B9")
+        pipeline = PanTompkinsPipeline(backends=design.backends())
+        memo = StageGraphMemo()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(
+                    pipeline.process, short_record.samples, memo
+                )
+                for _ in range(8)
+            ]
+            results = [f.result() for f in futures]
+        # Eight concurrent identical runs: every node computed exactly once.
+        assert memo.stats.total_computes == 5
+        assert memo.stats.total_hits == 35
+        for result in results[1:]:
+            np.testing.assert_array_equal(
+                results[0].integrated, result.integrated
+            )
+
+    def test_evaluation_counter_semantics_are_unchanged(self, short_record):
+        evaluator = DesignEvaluator([short_record])
+        design = DesignPoint.from_lsbs({"lpf": 10})
+        evaluator.evaluate(design)
+        evaluator.evaluate(design)  # result-cache hit
+        assert evaluator.evaluation_count == 1
+        evaluator.evaluate(design, use_cache=False)
+        assert evaluator.evaluation_count == 2
+
+
+# ----------------------------------------------------------------- warm start
+class TestWarmStartSeeding:
+    def test_seeded_evaluator_skips_the_accurate_chain(self, short_record):
+        donor = DesignEvaluator([short_record])
+        seeded = DesignEvaluator(
+            [short_record], accurate_results=donor.accurate_results
+        )
+        # Seeding injects nodes without running anything.
+        assert seeded.stage_stats.total_computes == 0
+        assert seeded.stage_stats.total_hits == 0
+        # ... and the seeded nodes are live: an accurate evaluation resolves
+        # every stage from the store.
+        seeded.evaluate(DesignPoint.accurate())
+        assert seeded.stage_stats.total_computes == 0
+        assert seeded.stage_stats.total_hits == 5
+
+    def test_seeded_results_match_self_computed_results(self, short_record):
+        donor = DesignEvaluator([short_record])
+        seeded = DesignEvaluator(
+            [short_record], accurate_results=donor.accurate_results
+        )
+        fresh = DesignEvaluator([short_record])
+        for design in _random_designs(6, seed=21):
+            a = seeded.evaluate(design)
+            b = fresh.evaluate(design)
+            assert a.psnr_db == b.psnr_db
+            assert a.peak_accuracy == b.peak_accuracy
+            assert a.detected_peaks == b.detected_peaks
+
+    def test_seed_counts_written_nodes(self, short_record):
+        donor = DesignEvaluator([short_record])
+        memo = StageGraphMemo(store=MemoryStageStore(), stats=StageGraphStats())
+        pipeline = PanTompkinsPipeline()
+        written = memo.seed(
+            np.asarray(short_record.samples, dtype=np.int64),
+            pipeline.stages,
+            {s.name: pipeline.backend_for(s) for s in pan_tompkins_stages()},
+            donor.accurate_result(short_record).stage_outputs,
+        )
+        assert written == 5

@@ -107,6 +107,19 @@ class TestJSONDirectoryCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_size_cap_evicts_oldest_entries(self, tmp_path, sample_evaluation):
+        cache = JSONDirectoryCache(str(tmp_path / "cache"), max_entries=2)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, sample_evaluation)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert cache.get("d") is not None
+        assert cache.get("a") is None
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            JSONDirectoryCache(str(tmp_path / "cache"), max_entries=0)
+
 
 class TestSQLiteCache:
     def test_round_trip_and_persistence(self, tmp_path, sample_evaluation):
@@ -134,6 +147,33 @@ class TestSQLiteCache:
         assert len(cache) == 0  # the bad row was deleted
         cache.close()
 
+    def test_size_cap_evicts_in_insertion_order(self, tmp_path,
+                                                sample_evaluation):
+        cache = SQLiteResultCache(str(tmp_path / "cache.sqlite"), max_entries=3)
+        for key in ("a", "b", "c", "d", "e"):
+            cache.put(key, sample_evaluation)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        # Oldest insertions went first.
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.get("e") is not None
+        cache.close()
+
+    def test_overwrite_refreshes_insertion_age(self, tmp_path,
+                                               sample_evaluation):
+        cache = SQLiteResultCache(str(tmp_path / "cache.sqlite"), max_entries=2)
+        cache.put("a", sample_evaluation)
+        cache.put("b", sample_evaluation)
+        cache.put("a", sample_evaluation)  # re-insert: "b" is now oldest
+        cache.put("c", sample_evaluation)
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        cache.close()
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            SQLiteResultCache(str(tmp_path / "cache.sqlite"), max_entries=0)
+
 
 class TestOpenCache:
     def test_backend_selection(self, tmp_path):
@@ -142,3 +182,10 @@ class TestOpenCache:
         assert isinstance(sqlite, SQLiteResultCache)
         sqlite.close()
         assert isinstance(open_cache(str(tmp_path / "dir")), JSONDirectoryCache)
+
+    def test_max_entries_is_forwarded(self, tmp_path):
+        assert open_cache(None, max_entries=7).max_entries == 7
+        sqlite = open_cache(str(tmp_path / "c.sqlite"), max_entries=7)
+        assert sqlite.max_entries == 7
+        sqlite.close()
+        assert open_cache(str(tmp_path / "dir"), max_entries=7).max_entries == 7
