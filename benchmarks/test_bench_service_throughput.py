@@ -1,0 +1,114 @@
+"""Service benchmark — duplicate vs distinct job submission throughput.
+
+Three passes through a live HTTP service (real sockets, real scheduler):
+
+1. **distinct** — N jobs, each evaluating a different design: every job
+   executes on the runtime (the upper bound on work).
+2. **duplicate** — N identical jobs submitted back-to-back while the first
+   is still running: in-flight coalescing collapses them onto one execution.
+3. **replay** — the same N identical jobs again after completion: every one
+   is answered instantly from the scheduler's completed-job result cache.
+
+The measured jobs/s and per-pass wall-clock are written to
+``benchmarks/results/service_throughput.txt``.  Wall-clock ratios depend on
+the host, so the report records them; what is asserted is the work
+accounting that makes the wins structural: the duplicate pass executes one
+evaluation, the replay pass executes none.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import format_row, write_report
+
+from repro.service import RuntimeProvider, ServiceClient, ServiceThread
+
+#: Jobs per pass.
+N_JOBS = 6
+#: Short record so the distinct pass stays a smoke test.
+DURATION_S = 4.0
+
+DISTINCT_PAYLOADS = [
+    {"kind": "evaluate", "designs": [{"lsbs": {"lpf": 2 * k + 2}}]}
+    for k in range(N_JOBS)
+]
+#: A design none of the distinct jobs used (so pass 2 starts cold).
+DUPLICATE_PAYLOAD = {"kind": "evaluate", "designs": [{"lsbs": {"hpf": 6}}]}
+
+
+def submit_and_drain(client, payloads):
+    """Submit every payload, then wait for all unique jobs; returns timing."""
+    started = time.perf_counter()
+    submissions = [client.submit(payload) for payload in payloads]
+    for job_id in {s["job"]["id"] for s in submissions}:
+        final = client.wait(job_id, timeout=600)
+        assert final["state"] == "succeeded", final
+    elapsed = time.perf_counter() - started
+    return submissions, elapsed
+
+
+def test_service_throughput(benchmark):
+    provider = RuntimeProvider(
+        executor="serial",
+        default_records=("16265",),
+        default_duration_s=DURATION_S,
+    )
+    with ServiceThread(provider=provider, max_concurrency=2) as service:
+        host, port = service.address
+        client = ServiceClient(host, port, timeout=120.0)
+
+        (_, distinct_s), = (
+            benchmark.pedantic(
+                submit_and_drain,
+                args=(client, DISTINCT_PAYLOADS),
+                rounds=1,
+                iterations=1,
+            ),
+        )
+        executed_distinct = client.stats()["jobs"]["executed"]
+
+        duplicates = [dict(DUPLICATE_PAYLOAD) for _ in range(N_JOBS)]
+        dup_submissions, duplicate_s = submit_and_drain(client, duplicates)
+        stats = client.stats()["jobs"]
+        executed_duplicate = stats["executed"] - executed_distinct
+
+        replay_submissions, replay_s = submit_and_drain(client, duplicates)
+        final_stats = client.stats()["jobs"]
+        executed_replay = final_stats["executed"] - stats["executed"]
+
+        # The structural wins: N duplicate submissions -> 1 execution;
+        # N replayed submissions -> 0 executions.
+        assert executed_distinct == N_JOBS
+        assert executed_duplicate == 1
+        assert executed_replay == 0
+        coalesced = sum(1 for s in dup_submissions if s["coalesced"])
+        cached = sum(1 for s in dup_submissions if s["cached"])
+        assert coalesced + cached == N_JOBS - 1
+        assert all(s["cached"] for s in replay_submissions)
+
+    def rate(elapsed):
+        return N_JOBS / elapsed if elapsed > 0 else 0.0
+
+    widths = (22, 8, 12, 14, 10)
+    lines = [
+        f"Service throughput: {N_JOBS} jobs per pass "
+        f"({DURATION_S:g} s record, serial in-job executor)",
+        "",
+        format_row(("pass", "jobs", "executions", "wall-clock[s]", "jobs/s"),
+                   widths),
+        format_row(("distinct designs", N_JOBS, executed_distinct,
+                    distinct_s, rate(distinct_s)), widths),
+        format_row(("duplicate (coalesced)", N_JOBS, executed_duplicate,
+                    duplicate_s, rate(duplicate_s)), widths),
+        format_row(("replay (result cache)", N_JOBS, executed_replay,
+                    replay_s, rate(replay_s)), widths),
+        "",
+        f"duplicate-submission speedup over distinct: "
+        f"x{distinct_s / duplicate_s:.1f}" if duplicate_s > 0 else "",
+        f"replay speedup over distinct: x{distinct_s / replay_s:.1f}"
+        if replay_s > 0 else "",
+        f"in-flight coalesced: {coalesced}, served from result cache: "
+        f"{cached + N_JOBS}",
+    ]
+    write_report("service_throughput", [line for line in lines if line])

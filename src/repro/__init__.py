@@ -24,6 +24,10 @@ Subpackages
 ``repro.runtime``
     The parallel, cached design-space exploration engine plus the
     ``python -m repro`` command-line interface.
+``repro.service``
+    The async job-orchestration service: a JSON/HTTP API (``python -m repro
+    serve``) running the exploration workloads as concurrent, cancellable,
+    content-addressed jobs with in-flight coalescing.
 
 Quickstart
 ----------
@@ -60,6 +64,7 @@ The same engine powers the command line::
     python -m repro explore --records 16265 --workers 4 --cache cache.sqlite
     python -m repro evaluate --config B9
     python -m repro resilience --stages lpf,hpf
+    python -m repro serve --port 8377 --concurrency 4
 
 See ``examples/parallel_exploration.py`` for a complete walk-through with a
 progress callback.

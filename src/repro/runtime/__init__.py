@@ -28,7 +28,11 @@ Modules
     Progress events and aggregate throughput / cache telemetry.
 ``repro.runtime.cli``
     The ``python -m repro`` command-line interface (``explore``,
-    ``evaluate``, ``resilience``).
+    ``evaluate``, ``resilience``, ``serve``).
+
+The job-orchestration service in :mod:`repro.service` sits one level up:
+it exposes this runtime over JSON/HTTP as concurrent, cancellable,
+content-addressed jobs.
 """
 
 from .cache import (

@@ -16,7 +16,11 @@ The on-disk backends accept the same ``max_entries`` size cap as the memory
 cache: once over the cap, the oldest entries (by file modification time for
 the JSON directory, by insertion order for SQLite) are evicted and counted in
 :attr:`CacheStats.evictions`, so a long-running exploration cannot grow a
-cache directory or database without bound.
+cache directory or database without bound.  They additionally accept a
+``max_bytes`` byte budget: after every write the oldest entries are evicted
+until the payload bytes on disk fit the budget (the newest entry is never
+evicted, so one oversized entry cannot empty the cache).  Both caps compose;
+:meth:`ResultCache.size_bytes` reports the current payload footprint.
 
 Every persisted entry embeds a SHA-256 checksum of its payload.  A corrupted
 entry (truncated file, bit rot, concurrent writer crash, schema drift) is
@@ -34,6 +38,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -49,7 +54,7 @@ __all__ = [
     "JSONDirectoryCache",
     "SQLiteResultCache",
     "DirectoryEvictionIndex",
-    "evict_oldest_rows",
+    "SQLiteEvictionBudget",
     "open_cache",
     "serialize_evaluation",
     "deserialize_evaluation",
@@ -61,76 +66,181 @@ class DirectoryEvictionIndex:
     """Insertion-ordered index of a directory-backed cache's entry files.
 
     Shared by the JSON-directory result cache and signal store: both evict
-    oldest-first once over their ``max_entries`` cap.  The index seeds itself
-    from a modification-time scan of pre-existing files, then tracks puts in
-    insertion order — so eviction order is exact for entries written by this
-    process (no reliance on filesystem mtime granularity) and the per-put
-    cost is O(evicted), not a directory rescan.  Entries written concurrently
-    by *other* processes are outside the index; each process bounds the
-    entries it knows about.
+    oldest-first once over their ``max_entries`` cap or ``max_bytes`` budget.
+    The index seeds itself from a modification-time scan of pre-existing
+    files, then tracks puts (and their file sizes) in insertion order — so
+    eviction order is exact for entries written by this process (no reliance
+    on filesystem mtime granularity) and the per-put cost is O(evicted), not
+    a directory rescan.  Entries written concurrently by *other* processes
+    are outside the index; each process bounds the entries it knows about.
     """
 
     def __init__(self, directory: str, suffix: str) -> None:
         self.directory = directory
         self.suffix = suffix
-        self._paths: "OrderedDict[str, None]" = OrderedDict()
+        self._paths: "OrderedDict[str, int]" = OrderedDict()
+        self._bytes = 0
         seed = []
         for name in os.listdir(directory):
             if not name.endswith(suffix) or ".tmp." in name:
                 continue
             path = os.path.join(directory, name)
             try:
-                seed.append((os.path.getmtime(path), path))
+                stat = os.stat(path)
             except OSError:  # pragma: no cover - race with another process
                 continue
-        for _, path in sorted(seed):
-            self._paths[path] = None
+            seed.append((stat.st_mtime, path, int(stat.st_size)))
+        for _, path, size in sorted(seed):
+            self._paths[path] = size
+            self._bytes += size
 
     def __len__(self) -> int:
         return len(self._paths)
 
-    def record(self, path: str) -> None:
+    @property
+    def total_bytes(self) -> int:
+        """Bytes held by the indexed entry files."""
+        return self._bytes
+
+    def record(self, path: str, size: Optional[int] = None) -> None:
         """Note that ``path`` was (re)written; it becomes the newest entry."""
-        self._paths.pop(path, None)
-        self._paths[path] = None
+        self._bytes -= self._paths.pop(path, 0)
+        if size is None:
+            try:
+                size = int(os.path.getsize(path))
+            except OSError:  # pragma: no cover - race with another process
+                size = 0
+        self._paths[path] = size
+        self._bytes += size
 
     def forget(self, path: str) -> None:
         """Note that ``path`` was removed outside of eviction."""
-        self._paths.pop(path, None)
+        self._bytes -= self._paths.pop(path, 0)
 
-    def evict_over_cap(self, max_entries: Optional[int], drop) -> int:
-        """Drop oldest entries until at most ``max_entries`` remain."""
-        if max_entries is None:
-            return 0
+    def evict_over_budget(
+        self, max_entries: Optional[int], max_bytes: Optional[int], drop
+    ) -> int:
+        """Drop oldest entries until both the entry cap and byte budget hold.
+
+        The newest entry always survives the byte budget, so a single entry
+        larger than ``max_bytes`` cannot empty the cache (it is evicted by
+        the next write instead).
+        """
         evicted = 0
-        while len(self._paths) > max_entries:
-            path, _ = self._paths.popitem(last=False)
+        while self._paths:
+            over_entries = (
+                max_entries is not None and len(self._paths) > max_entries
+            )
+            over_bytes = (
+                max_bytes is not None
+                and self._bytes > max_bytes
+                and len(self._paths) > 1
+            )
+            if not (over_entries or over_bytes):
+                break
+            path, size = self._paths.popitem(last=False)
+            self._bytes -= size
             drop(path)
             evicted += 1
         return evicted
 
 
-def evict_oldest_rows(
-    connection: sqlite3.Connection, table: str, max_entries: Optional[int]
-) -> int:
-    """Delete the oldest rows of ``table`` beyond ``max_entries``.
+class SQLiteEvictionBudget:
+    """Running entry/byte totals driving eviction of one SQLite table.
+
+    Counting rows or summing payload sizes on every write would make each
+    put O(table size); instead the totals are measured once when the store
+    opens and maintained incrementally, so the steady-state cost of a
+    budgeted write is one indexed lookup plus O(evicted) single-row deletes
+    — the SQLite counterpart of :class:`DirectoryEvictionIndex`, with the
+    same caveat: rows written concurrently by *other* processes are outside
+    the totals, each process bounds the entries it knows about.
 
     ``INSERT OR REPLACE`` always assigns a fresh rowid, so rowid order is
     insertion order and the smallest rowids are the oldest entries.  The
-    caller commits.
+    caller holds the store lock and commits.
     """
-    if max_entries is None:
-        return 0
-    (count,) = connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
-    excess = int(count) - max_entries
-    if excess <= 0:
-        return 0
-    connection.execute(
-        f"DELETE FROM {table} WHERE rowid IN ("
-        f" SELECT rowid FROM {table} ORDER BY rowid ASC LIMIT ?)",
-        (excess,),
-    )
-    return excess
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        table: str,
+        size_expr: str,
+        max_entries: Optional[int],
+        max_bytes: Optional[int],
+    ) -> None:
+        self.connection = connection
+        self.table = table
+        self.size_expr = size_expr
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        (count,) = connection.execute(
+            f"SELECT COUNT(*) FROM {table}"
+        ).fetchone()
+        (total,) = connection.execute(
+            f"SELECT COALESCE(SUM({size_expr}), 0) FROM {table}"
+        ).fetchone()
+        self.entries = int(count)
+        self.bytes = int(total)
+
+    def size_of(self, key: str) -> Optional[int]:
+        """Stored size of ``key``'s row, or ``None`` when absent."""
+        row = self.connection.execute(
+            f"SELECT {self.size_expr} FROM {self.table} WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return int(row[0]) if row is not None else None
+
+    def replaced(self, old_size: Optional[int], new_size: int) -> None:
+        """Account one ``INSERT OR REPLACE`` (``old_size`` from :meth:`size_of`)."""
+        if old_size is None:
+            self.entries += 1
+            self.bytes += new_size
+        else:
+            self.bytes += new_size - old_size
+
+    def removed(self, size: int) -> None:
+        """Account one row removed outside of eviction (e.g. corruption)."""
+        self.entries = max(0, self.entries - 1)
+        self.bytes = max(0, self.bytes - size)
+
+    def cleared(self) -> None:
+        """Account the table being emptied."""
+        self.entries = 0
+        self.bytes = 0
+
+    def evict(self) -> int:
+        """Delete oldest rows until the entry cap and byte budget both hold.
+
+        The newest row always survives the byte budget, so a single
+        oversized entry cannot empty the table.
+        """
+        evicted = 0
+        while True:
+            over_entries = (
+                self.max_entries is not None and self.entries > self.max_entries
+            )
+            over_bytes = (
+                self.max_bytes is not None
+                and self.bytes > self.max_bytes
+                and self.entries > 1
+            )
+            if not (over_entries or over_bytes):
+                break
+            row = self.connection.execute(
+                f"SELECT rowid, {self.size_expr} FROM {self.table}"
+                " ORDER BY rowid ASC LIMIT 1"
+            ).fetchone()
+            if row is None:  # pragma: no cover - another process emptied it
+                self.cleared()
+                break
+            rowid, size = row
+            self.connection.execute(
+                f"DELETE FROM {self.table} WHERE rowid = ?", (rowid,)
+            )
+            self.removed(int(size))
+            evicted += 1
+        return evicted
 
 
 # --------------------------------------------------------------- statistics
@@ -300,38 +410,53 @@ class ResultCache(ABC):
         """Like :meth:`_read` but without touching the statistics."""
         return self._read(key)
 
+    def size_bytes(self) -> Optional[int]:
+        """Payload bytes currently held, or ``None`` when not measurable."""
+        return None
+
 
 class MemoryResultCache(ResultCache):
-    """In-process LRU cache, optionally bounded to ``max_entries``."""
+    """In-process LRU cache, optionally bounded to ``max_entries``.
+
+    Thread-safe: the exploration service resolves concurrent jobs against
+    one shared cache from several worker threads.
+    """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
         super().__init__()
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, DesignEvaluation]" = OrderedDict()
 
     def _read(self, key: str) -> Optional[DesignEvaluation]:
-        evaluation = self._entries.get(key)
-        if evaluation is not None:
-            self._entries.move_to_end(key)
-        return evaluation
+        with self._lock:
+            evaluation = self._entries.get(key)
+            if evaluation is not None:
+                self._entries.move_to_end(key)
+            return evaluation
 
     def _peek(self, key: str) -> Optional[DesignEvaluation]:
         return self._entries.get(key)
 
     def _write(self, key: str, evaluation: DesignEvaluation) -> None:
-        self._entries[key] = evaluation
-        self._entries.move_to_end(key)
-        while self.max_entries is not None and len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = evaluation
+            self._entries.move_to_end(key)
+            while (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self) -> Iterator[str]:
         """Stored keys, least-recently-used first."""
@@ -341,21 +466,32 @@ class MemoryResultCache(ResultCache):
 class JSONDirectoryCache(ResultCache):
     """One checksummed JSON file per entry inside ``directory``.
 
-    ``max_entries`` bounds the directory: after every write the oldest files
-    (by modification time) beyond the cap are removed and counted as
-    evictions.
+    ``max_entries`` bounds the directory's entry count, ``max_bytes`` its
+    byte footprint: after every write the oldest files (by modification
+    time) beyond either budget are removed and counted as evictions.
     """
 
-    def __init__(self, directory: str, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        directory: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         super().__init__()
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.directory = directory
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        # Concurrent service jobs read/write one shared cache from several
+        # threads; the lock keeps the eviction index consistent.
+        self._lock = threading.Lock()
         os.makedirs(directory, exist_ok=True)
         self._index = (
             DirectoryEvictionIndex(directory, ".json")
-            if max_entries is not None
+            if max_entries is not None or max_bytes is not None
             else None
         )
 
@@ -364,20 +500,21 @@ class JSONDirectoryCache(ResultCache):
 
     def _read(self, key: str) -> Optional[DesignEvaluation]:
         path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError):
-            self.stats.corrupt += 1
-            self._drop(path)
-            return None
-        evaluation = _decode_entry(entry)
-        if evaluation is None:
-            self.stats.corrupt += 1
-            self._drop(path)
-        return evaluation
+        with self._lock:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except FileNotFoundError:
+                return None
+            except (OSError, json.JSONDecodeError):
+                self.stats.corrupt += 1
+                self._drop(path)
+                return None
+            evaluation = _decode_entry(entry)
+            if evaluation is None:
+                self.stats.corrupt += 1
+                self._drop(path)
+            return evaluation
 
     def _drop(self, path: str) -> None:
         if self._index is not None:
@@ -390,14 +527,15 @@ class JSONDirectoryCache(ResultCache):
     def _write(self, key: str, evaluation: DesignEvaluation) -> None:
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(_encode_entry(evaluation), handle, sort_keys=True)
-        os.replace(tmp, path)
-        if self._index is not None:
-            self._index.record(path)
-            self.stats.evictions += self._index.evict_over_cap(
-                self.max_entries, self._remove_file
-            )
+        with self._lock:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(_encode_entry(evaluation), handle, sort_keys=True)
+            os.replace(tmp, path)
+            if self._index is not None:
+                self._index.record(path)
+                self.stats.evictions += self._index.evict_over_budget(
+                    self.max_entries, self.max_bytes, self._remove_file
+                )
 
     @staticmethod
     def _remove_file(path: str) -> None:
@@ -411,29 +549,65 @@ class JSONDirectoryCache(ResultCache):
             1 for name in os.listdir(self.directory) if name.endswith(".json")
         )
 
+    def size_bytes(self) -> Optional[int]:
+        with self._lock:
+            if self._index is not None:
+                return self._index.total_bytes
+            total = 0
+            for name in os.listdir(self.directory):
+                if name.endswith(".json"):
+                    try:
+                        total += os.path.getsize(
+                            os.path.join(self.directory, name)
+                        )
+                    except OSError:  # pragma: no cover - race
+                        continue
+            return total
+
     def clear(self) -> None:
-        for name in os.listdir(self.directory):
-            if name.endswith(".json"):
-                self._drop(os.path.join(self.directory, name))
+        with self._lock:
+            for name in os.listdir(self.directory):
+                if name.endswith(".json"):
+                    self._drop(os.path.join(self.directory, name))
 
 
 class SQLiteResultCache(ResultCache):
     """All entries in one SQLite database file (share-friendly across runs).
 
-    ``max_entries`` bounds the table: after every write the oldest rows (by
-    insertion order — ``INSERT OR REPLACE`` always assigns a fresh rowid) are
-    deleted and counted as evictions.
+    ``max_entries`` bounds the table's row count, ``max_bytes`` its payload
+    bytes: after every write the oldest rows (by insertion order —
+    ``INSERT OR REPLACE`` always assigns a fresh rowid) beyond either budget
+    are deleted and counted as evictions.
     """
 
-    def __init__(self, path: str, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         super().__init__()
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.path = path
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        self._connection = sqlite3.connect(path)
+        # One connection shared across threads, guarded by the cache lock:
+        # the service's scheduler resolves concurrent jobs against one
+        # shared cache from several executor threads.  The busy timeout and
+        # WAL journal additionally let separate processes share the file.
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(
+            path, check_same_thread=False, timeout=30.0
+        )
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:  # pragma: no cover - read-only fs
+            pass
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS evaluations ("
             " key TEXT PRIMARY KEY,"
@@ -441,48 +615,79 @@ class SQLiteResultCache(ResultCache):
             " payload TEXT NOT NULL)"
         )
         self._connection.commit()
+        self._budget = (
+            SQLiteEvictionBudget(
+                self._connection, "evaluations", "LENGTH(payload)",
+                max_entries, max_bytes,
+            )
+            if max_entries is not None or max_bytes is not None
+            else None
+        )
 
     def _read(self, key: str) -> Optional[DesignEvaluation]:
-        row = self._connection.execute(
-            "SELECT checksum, payload FROM evaluations WHERE key = ?", (key,)
-        ).fetchone()
-        if row is None:
-            return None
-        checksum, payload_text = row
-        try:
-            entry = {"checksum": checksum, "payload": json.loads(payload_text)}
-        except json.JSONDecodeError:
-            entry = None
-        evaluation = _decode_entry(entry) if entry is not None else None
-        if evaluation is None:
-            self.stats.corrupt += 1
-            self._connection.execute(
-                "DELETE FROM evaluations WHERE key = ?", (key,)
-            )
-            self._connection.commit()
-        return evaluation
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT checksum, payload FROM evaluations WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                return None
+            checksum, payload_text = row
+            try:
+                entry = {
+                    "checksum": checksum,
+                    "payload": json.loads(payload_text),
+                }
+            except json.JSONDecodeError:
+                entry = None
+            evaluation = _decode_entry(entry) if entry is not None else None
+            if evaluation is None:
+                self.stats.corrupt += 1
+                self._connection.execute(
+                    "DELETE FROM evaluations WHERE key = ?", (key,)
+                )
+                if self._budget is not None:
+                    self._budget.removed(len(payload_text))
+                self._connection.commit()
+            return evaluation
 
     def _write(self, key: str, evaluation: DesignEvaluation) -> None:
         entry = _encode_entry(evaluation)
-        self._connection.execute(
-            "INSERT OR REPLACE INTO evaluations (key, checksum, payload)"
-            " VALUES (?, ?, ?)",
-            (key, entry["checksum"], json.dumps(entry["payload"], sort_keys=True)),
-        )
-        self.stats.evictions += evict_oldest_rows(
-            self._connection, "evaluations", self.max_entries
-        )
-        self._connection.commit()
+        payload_text = json.dumps(entry["payload"], sort_keys=True)
+        with self._lock:
+            old_size = (
+                self._budget.size_of(key) if self._budget is not None else None
+            )
+            self._connection.execute(
+                "INSERT OR REPLACE INTO evaluations (key, checksum, payload)"
+                " VALUES (?, ?, ?)",
+                (key, entry["checksum"], payload_text),
+            )
+            if self._budget is not None:
+                self._budget.replaced(old_size, len(payload_text))
+                self.stats.evictions += self._budget.evict()
+            self._connection.commit()
 
     def __len__(self) -> int:
-        (count,) = self._connection.execute(
-            "SELECT COUNT(*) FROM evaluations"
-        ).fetchone()
-        return int(count)
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM evaluations"
+            ).fetchone()
+            return int(count)
+
+    def size_bytes(self) -> Optional[int]:
+        with self._lock:
+            (total,) = self._connection.execute(
+                "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM evaluations"
+            ).fetchone()
+            return int(total)
 
     def clear(self) -> None:
-        self._connection.execute("DELETE FROM evaluations")
-        self._connection.commit()
+        with self._lock:
+            self._connection.execute("DELETE FROM evaluations")
+            if self._budget is not None:
+                self._budget.cleared()
+            self._connection.commit()
 
     def close(self) -> None:
         """Close the underlying database connection."""
@@ -490,17 +695,22 @@ class SQLiteResultCache(ResultCache):
 
 
 def open_cache(
-    path: Optional[str] = None, max_entries: Optional[int] = None
+    path: Optional[str] = None,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
 ) -> ResultCache:
     """Open the right cache backend for ``path``.
 
     ``None`` gives an in-memory cache, a path ending in ``.sqlite`` / ``.db``
     a :class:`SQLiteResultCache`, anything else a :class:`JSONDirectoryCache`
-    rooted at the path.  ``max_entries`` caps any backend (``None`` keeps it
+    rooted at the path.  ``max_entries`` caps any backend, ``max_bytes``
+    additionally budgets the persistent ones (``None`` keeps either
     unbounded).
     """
     if path is None:
+        if max_bytes is not None:
+            raise ValueError("max_bytes requires a persistent cache backend")
         return MemoryResultCache(max_entries=max_entries)
     if path.endswith((".sqlite", ".sqlite3", ".db")):
-        return SQLiteResultCache(path, max_entries=max_entries)
-    return JSONDirectoryCache(path, max_entries=max_entries)
+        return SQLiteResultCache(path, max_entries=max_entries, max_bytes=max_bytes)
+    return JSONDirectoryCache(path, max_entries=max_entries, max_bytes=max_bytes)

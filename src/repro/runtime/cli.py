@@ -1,6 +1,6 @@
 """Command-line interface of the exploration runtime (``python -m repro``).
 
-Three subcommands drive the :class:`~repro.runtime.ExplorationRuntime`:
+Four subcommands drive the :class:`~repro.runtime.ExplorationRuntime`:
 
 ``explore``
     Design-space exploration of the pre-processing stages.  The default
@@ -13,21 +13,34 @@ Three subcommands drive the :class:`~repro.runtime.ExplorationRuntime`:
 ``resilience``
     Per-stage error-resilience sweeps (Figs. 2 and 8), batched through the
     runtime so the sweep points spread over the worker pool.
+``serve``
+    Start the job-orchestration service (:mod:`repro.service`): a JSON/HTTP
+    API accepting the same three workloads as concurrent, cancellable,
+    coalescing jobs (``--host``/``--port``/``--concurrency``; the runtime
+    options configure the shared caches and pool, and ``--records`` /
+    ``--duration`` become the default workload for requests that omit them).
 
 All subcommands share the runtime options: ``--records``, ``--duration``,
 ``--executor``, ``--workers``, ``--cache`` (a ``.sqlite``/``.db`` file or a
 JSON cache directory, persisted across invocations), ``--cache-max-entries``
-(size-cap eviction for the result cache), ``--signal-store`` (a persistent
-store for the stage graph's intermediate signals, same path conventions as
-``--cache``) and ``--verbose`` for per-design progress lines.  Every run ends
-with the runtime's execution and cache statistics — including the per-stage
-hit rates of the stage-graph signal store and the measured speedup over the
-paper's ~300 s per-evaluation serial cost model.
+and ``--cache-max-bytes`` (entry- and byte-budget eviction for the result
+cache), ``--signal-store`` (a persistent store for the stage graph's
+intermediate signals, same path conventions as ``--cache``, with its own
+``--signal-store-max-entries``/``--signal-store-max-bytes`` budgets) and
+``--verbose`` for per-design progress lines.  Every run ends with the
+runtime's execution and cache statistics — including the per-stage hit rates
+of the stage-graph signal store and the measured speedup over the paper's
+~300 s per-evaluation serial cost model.
+
+``explore`` and ``evaluate`` also take ``--json``, which replaces the human
+report with a machine-readable document built on the canonical
+``DesignEvaluation`` serializer — the exact shape the service API returns.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -70,6 +83,10 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="size cap of the result cache; oldest entries are evicted "
              "(default: unbounded)")
     group.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="byte budget of a persistent result cache; oldest entries are "
+             "evicted once the payload bytes exceed it (default: unbounded)")
+    group.add_argument(
         "--signal-store", default=None, metavar="PATH",
         help="persistent store for memoized intermediate stage signals: "
              "a .sqlite/.db file or a directory of JSON entries "
@@ -79,6 +96,10 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="size cap of the persistent signal store; oldest nodes are "
              "evicted (default: unbounded)")
     group.add_argument(
+        "--signal-store-max-bytes", type=int, default=None, metavar="BYTES",
+        help="byte budget of the persistent signal store; oldest nodes are "
+             "evicted once the payload bytes exceed it (default: unbounded)")
+    group.add_argument(
         "--chunk-size", type=int, default=None,
         help="designs per worker chunk (default: derived from batch size)")
     group.add_argument(
@@ -86,26 +107,36 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="print one progress line per resolved design")
 
 
-def _make_runtime(args: argparse.Namespace) -> ExplorationRuntime:
+def _record_names(args: argparse.Namespace) -> List[str]:
     names = [name.strip() for name in args.records.split(",") if name.strip()]
     if not names:
         raise SystemExit("error: --records needs at least one record name")
+    return names
+
+
+def _validate_runtime_options(args: argparse.Namespace) -> None:
     if args.workers is not None and args.workers < 1:
         raise SystemExit(f"error: --workers must be >= 1, got {args.workers}")
-    if args.cache_max_entries is not None and args.cache_max_entries < 1:
+    for flag in (
+        "cache_max_entries",
+        "cache_max_bytes",
+        "signal_store_max_entries",
+        "signal_store_max_bytes",
+    ):
+        value = getattr(args, flag)
+        if value is not None and value < 1:
+            name = "--" + flag.replace("_", "-")
+            raise SystemExit(f"error: {name} must be >= 1, got {value}")
+    if args.cache_max_bytes is not None and args.cache is None:
+        raise SystemExit("error: --cache-max-bytes needs a persistent --cache")
+    if args.signal_store_max_bytes is not None and args.signal_store is None:
         raise SystemExit(
-            f"error: --cache-max-entries must be >= 1, got {args.cache_max_entries}"
+            "error: --signal-store-max-bytes needs a persistent --signal-store"
         )
-    if args.signal_store_max_entries is not None and args.signal_store_max_entries < 1:
-        raise SystemExit(
-            "error: --signal-store-max-entries must be >= 1, got "
-            f"{args.signal_store_max_entries}"
-        )
-    records = [load_record(name, duration_s=args.duration) for name in names]
-    progress = None
-    if args.verbose:
-        def progress(event: ProgressEvent) -> None:
-            print(event.describe())
+
+
+def _open_backends(args: argparse.Namespace):
+    """The (cache, signal_store, chunk_policy) configured by the CLI flags."""
     chunk_policy = None
     if args.chunk_size is not None:
         from .chunking import ChunkPolicy
@@ -114,15 +145,34 @@ def _make_runtime(args: argparse.Namespace) -> ExplorationRuntime:
     signal_store = None
     if args.signal_store is not None:
         # Persistent stores default to unbounded (like --cache); pass
-        # --signal-store-max-entries to cap them.
+        # --signal-store-max-entries / --signal-store-max-bytes to cap them.
         signal_store = open_signal_store(
-            args.signal_store, max_entries=args.signal_store_max_entries
+            args.signal_store,
+            max_entries=args.signal_store_max_entries,
+            max_bytes=args.signal_store_max_bytes,
         )
+    cache = open_cache(
+        args.cache,
+        max_entries=args.cache_max_entries,
+        max_bytes=args.cache_max_bytes,
+    )
+    return cache, signal_store, chunk_policy
+
+
+def _make_runtime(args: argparse.Namespace) -> ExplorationRuntime:
+    names = _record_names(args)
+    _validate_runtime_options(args)
+    records = [load_record(name, duration_s=args.duration) for name in names]
+    progress = None
+    if args.verbose:
+        def progress(event: ProgressEvent) -> None:
+            print(event.describe())
+    cache, signal_store, chunk_policy = _open_backends(args)
     return ExplorationRuntime(
         records,
         executor=args.executor,
         max_workers=args.workers,
-        cache=open_cache(args.cache, max_entries=args.cache_max_entries),
+        cache=cache,
         chunk_policy=chunk_policy,
         progress=progress,
         signal_store=signal_store,
@@ -170,6 +220,8 @@ def _print_statistics(runtime: ExplorationRuntime, strategy: str) -> None:
 
 # --------------------------------------------------------------- subcommands
 def _cmd_explore(args: argparse.Namespace) -> int:
+    if args.json and args.method == "algorithm1":
+        raise SystemExit("error: --json supports the grid method only")
     runtime = _make_runtime(args)
     constraint = _constraint(args)
     with runtime:
@@ -180,6 +232,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 runtime=runtime,
             ).run()
             print(result.report())
+        elif args.json:
+            # The canonical machine-readable shape: exactly what the service
+            # API returns for an "explore" job, plus the runtime telemetry.
+            from ..service.jobs import execute_explore
+
+            document = execute_explore(
+                runtime,
+                constraint,
+                max_designs=args.max_designs,
+                lsb_step=args.lsb_step,
+            )
+            document["statistics"] = runtime.telemetry.snapshot()
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
         else:
             space = preprocessing_design_space(lsb_step=args.lsb_step)
             designs: List[DesignPoint] = []
@@ -214,6 +280,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         design = _parse_lsbs(args.lsbs)
     runtime = _make_runtime(args)
     with runtime:
+        if args.json:
+            from ..service.jobs import execute_evaluate
+
+            document = execute_evaluate(runtime, [design])
+            document["statistics"] = runtime.telemetry.snapshot()
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
         evaluation = runtime.evaluate(design)
         print(evaluation.summary())
         for name, accuracy in sorted(evaluation.per_record_accuracy.items()):
@@ -250,6 +323,55 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from ..service.scheduler import JobScheduler, RuntimeProvider
+    from ..service.server import DEFAULT_PORT, ServiceServer
+
+    _validate_runtime_options(args)
+    if args.concurrency < 1:
+        raise SystemExit(f"error: --concurrency must be >= 1, got {args.concurrency}")
+    port = DEFAULT_PORT if args.port is None else args.port
+    if port < 0 or port > 65535:
+        raise SystemExit(f"error: --port must be in [0, 65535], got {port}")
+    names = _record_names(args)
+    cache, signal_store, chunk_policy = _open_backends(args)
+    provider = RuntimeProvider(
+        executor=args.executor,
+        max_workers=args.workers,
+        cache=cache,
+        signal_store=signal_store,
+        chunk_policy=chunk_policy,
+        default_records=tuple(names),
+        default_duration_s=args.duration,
+    )
+    scheduler = JobScheduler(provider, max_concurrency=args.concurrency)
+    server = ServiceServer(scheduler, host=args.host, port=port)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"repro service listening on http://{host}:{port}", flush=True)
+        print(
+            f"default workload: records {','.join(names)} "
+            f"({args.duration:g} s), executor {args.executor}, "
+            f"{args.concurrency} concurrent jobs",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro service stopped")
+    return 0
+
+
 # -------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -276,6 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--threshold", type=float, default=15.0,
         help="constraint threshold (default: 15.0, the paper's PSNR bound)")
+    explore.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical machine-readable JSON document (the same "
+             "DesignEvaluation shape the service API returns)")
     _add_runtime_options(explore)
     explore.set_defaults(handler=_cmd_explore)
 
@@ -287,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--lsbs", default=None,
         help="explicit design, e.g. lpf=10,hpf=12,mwi=16")
+    evaluate.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical machine-readable JSON document (the same "
+             "DesignEvaluation shape the service API returns)")
     _add_runtime_options(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
@@ -297,6 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated stage names (default: all five)")
     _add_runtime_options(resilience)
     resilience.set_defaults(handler=_cmd_resilience)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the HTTP job-orchestration service over the runtime")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port; 0 picks a free ephemeral port (default: 8377)")
+    serve.add_argument(
+        "--concurrency", type=int, default=2,
+        help="number of jobs executed concurrently (default: 2); each job "
+             "additionally parallelises over the runtime's worker pool")
+    _add_runtime_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

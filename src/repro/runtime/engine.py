@@ -24,6 +24,7 @@ searches and the resilience analysis accept either interchangeably — and adds:
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -72,8 +73,10 @@ def _init_process_worker(
         # Persistent signal stores cannot cross the process boundary as
         # objects; each worker reopens the same on-disk store so stage-node
         # reuse spans the whole pool (and later runs).
-        path, max_entries = store_spec
-        signal_store = open_signal_store(path, max_entries=max_entries)
+        path, max_entries, max_bytes = store_spec
+        signal_store = open_signal_store(
+            path, max_entries=max_entries, max_bytes=max_bytes
+        )
     _WORKER_EVALUATOR = DesignEvaluator(
         records,
         detection_config=detection_config,
@@ -207,6 +210,9 @@ class ExplorationRuntime:
         }
         self._evaluation_count = 0
         self._executor: Optional[Executor] = None
+        # Guards the counters shared by concurrent evaluate_many callers (the
+        # job-orchestration service runs several jobs against one runtime).
+        self._count_lock = threading.Lock()
 
     # --------------------------------------------- DesignEvaluator surface
     @property
@@ -332,11 +338,12 @@ class ExplorationRuntime:
                     # Duplicate within the batch: resolved without extra work.
                     hit_indices.add(index)
             flush()
-        self._evaluation_count += len(misses)
 
         elapsed = time.perf_counter() - started
-        self.telemetry.record_batch(len(misses), len(hit_indices), elapsed)
-        self.telemetry.update_stage_stats(self._core.stage_stats.as_dict())
+        with self._count_lock:
+            self._evaluation_count += len(misses)
+            self.telemetry.record_batch(len(misses), len(hit_indices), elapsed)
+            self.telemetry.update_stage_stats(self._core.stage_stats.as_dict())
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------ execution
@@ -394,29 +401,33 @@ class ExplorationRuntime:
         return [self._evaluate_inline(design) for design in designs]
 
     def _ensure_executor(self) -> Executor:
-        if self._executor is None:
-            if self.executor_kind == "thread":
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.max_workers, thread_name_prefix="repro-eval"
-                )
-            else:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.max_workers,
-                    initializer=_init_process_worker,
-                    initargs=(
-                        self._core.records,
-                        self.detection_config,
-                        self.peak_tolerance_samples,
-                        # Warm start: workers seed their stage graphs from
-                        # the parent's accurate runs instead of recomputing
-                        # them once per worker.
-                        self._core.accurate_results,
-                        # Persistent signal stores are reopened per worker so
-                        # stage-node reuse spans the pool.
-                        signal_store_spec(self._core.stage_memo.store),
-                    ),
-                )
-        return self._executor
+        # Guarded: concurrent evaluate_many callers (service jobs sharing one
+        # runtime) must not race the lazy init and leak a second pool.
+        with self._count_lock:
+            if self._executor is None:
+                if self.executor_kind == "thread":
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-eval",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        initializer=_init_process_worker,
+                        initargs=(
+                            self._core.records,
+                            self.detection_config,
+                            self.peak_tolerance_samples,
+                            # Warm start: workers seed their stage graphs
+                            # from the parent's accurate runs instead of
+                            # recomputing them once per worker.
+                            self._core.accurate_results,
+                            # Persistent signal stores are reopened per
+                            # worker so stage-node reuse spans the pool.
+                            signal_store_spec(self._core.stage_memo.store),
+                        ),
+                    )
+            return self._executor
 
     # ------------------------------------------------------------ lifecycle
     def shutdown(self) -> None:
@@ -438,6 +449,10 @@ class ExplorationRuntime:
         """Execution + cache snapshot, measured against the Fig. 11 model."""
         telemetry = self.telemetry
         stage_stats = self._core.stage_stats
+        cache_stats = self.cache.stats.as_dict()
+        size_bytes = self.cache.size_bytes()
+        if size_bytes is not None:
+            cache_stats["size_bytes"] = size_bytes
         return RuntimeStatistics(
             executor=self.executor_kind,
             max_workers=self.max_workers,
@@ -448,7 +463,7 @@ class ExplorationRuntime:
             busy_s=telemetry.busy_s,
             modeled_serial_s=telemetry.modeled_duration_s(cost_model),
             speedup_vs_model=telemetry.speedup_vs_model(cost_model),
-            cache=self.cache.stats.as_dict(),
+            cache=cache_stats,
             stage_hit_rate=stage_stats.hit_rate(),
             stage_cache=stage_stats.as_dict(),
         )

@@ -16,9 +16,10 @@ level down the execution hierarchy:
 
 Every persisted node embeds a SHA-256 checksum; a corrupted entry is counted,
 dropped and reported as a miss, so the executor transparently recomputes the
-stage.  All stores are size-capped (``max_entries``) with oldest-first
-eviction and eviction accounting, because a long exploration writes far more
-intermediate signals than final results.
+stage.  All stores are size-capped (``max_entries``, and for the persistent
+backends also a ``max_bytes`` byte budget) with oldest-first eviction and
+eviction accounting, because a long exploration writes far more intermediate
+signals than final results.
 
 Stores are thread-safe: the stage graph resolves nodes from inside the
 thread pool of :class:`~repro.runtime.engine.ExplorationRuntime`.
@@ -38,7 +39,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..core.stage_graph import DEFAULT_STORE_ENTRIES, MemoryStageStore
-from .cache import DirectoryEvictionIndex, evict_oldest_rows
+from .cache import DirectoryEvictionIndex, SQLiteEvictionBudget
 
 __all__ = [
     "SignalStoreStats",
@@ -136,23 +137,31 @@ def _blob_checksum(dtype: str, shape: str, blob: bytes) -> str:
 
 # ------------------------------------------------------------------ backends
 class JSONDirectorySignalStore:
-    """One checksummed JSON file per stage-graph node inside ``directory``."""
+    """One checksummed JSON file per stage-graph node inside ``directory``.
+
+    ``max_entries`` caps the node count, ``max_bytes`` the byte footprint;
+    the oldest nodes beyond either budget are evicted after every put.
+    """
 
     def __init__(
         self,
         directory: str,
         max_entries: Optional[int] = DEFAULT_STORE_ENTRIES,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.directory = directory
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = SignalStoreStats()
         self._lock = threading.Lock()
         os.makedirs(directory, exist_ok=True)
         self._index = (
             DirectoryEvictionIndex(directory, ".signal.json")
-            if max_entries is not None
+            if max_entries is not None or max_bytes is not None
             else None
         )
 
@@ -194,8 +203,8 @@ class JSONDirectorySignalStore:
             os.replace(tmp, path)
             if self._index is not None:
                 self._index.record(path)
-                self.stats.evictions += self._index.evict_over_cap(
-                    self.max_entries, self._remove_file
+                self.stats.evictions += self._index.evict_over_budget(
+                    self.max_entries, self.max_bytes, self._remove_file
                 )
 
     def _drop(self, path: str) -> None:
@@ -224,6 +233,19 @@ class JSONDirectorySignalStore:
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
+    def size_bytes(self) -> int:
+        """Bytes currently held by the stored node files."""
+        with self._lock:
+            if self._index is not None:
+                return self._index.total_bytes
+            total = 0
+            for path in self._entry_paths():
+                try:
+                    total += os.path.getsize(path)
+                except OSError:  # pragma: no cover - race
+                    continue
+            return total
+
     def clear(self) -> None:
         """Drop every stored node (statistics are kept)."""
         with self._lock:
@@ -232,17 +254,25 @@ class JSONDirectorySignalStore:
 
 
 class SQLiteSignalStore:
-    """All stage-graph nodes in one SQLite database file."""
+    """All stage-graph nodes in one SQLite database file.
+
+    ``max_entries`` caps the row count, ``max_bytes`` the payload bytes;
+    the oldest rows beyond either budget are evicted after every put.
+    """
 
     def __init__(
         self,
         path: str,
         max_entries: Optional[int] = DEFAULT_STORE_ENTRIES,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.path = path
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = SignalStoreStats()
         self._lock = threading.Lock()
         parent = os.path.dirname(os.path.abspath(path))
@@ -267,6 +297,14 @@ class SQLiteSignalStore:
             " payload BLOB NOT NULL)"
         )
         self._connection.commit()
+        self._budget = (
+            SQLiteEvictionBudget(
+                self._connection, "signals", "LENGTH(payload)",
+                max_entries, max_bytes,
+            )
+            if max_entries is not None or max_bytes is not None
+            else None
+        )
 
     def get(self, key: str) -> Optional[np.ndarray]:
         """The stored signal for ``key`` (read-only), or ``None`` on a miss."""
@@ -287,6 +325,8 @@ class SQLiteSignalStore:
                 self._connection.execute(
                     "DELETE FROM signals WHERE key = ?", (key,)
                 )
+                if self._budget is not None:
+                    self._budget.removed(len(blob))
                 self._connection.commit()
                 return None
             self.stats.hits += 1
@@ -315,15 +355,26 @@ class SQLiteSignalStore:
         blob = signal.tobytes()
         with self._lock:
             self.stats.puts += 1
+            old_size = (
+                self._budget.size_of(key) if self._budget is not None else None
+            )
             self._connection.execute(
                 "INSERT OR REPLACE INTO signals"
                 " (key, dtype, shape, checksum, payload) VALUES (?, ?, ?, ?, ?)",
                 (key, dtype, shape, _blob_checksum(dtype, shape, blob), blob),
             )
-            self.stats.evictions += evict_oldest_rows(
-                self._connection, "signals", self.max_entries
-            )
+            if self._budget is not None:
+                self._budget.replaced(old_size, len(blob))
+                self.stats.evictions += self._budget.evict()
             self._connection.commit()
+
+    def size_bytes(self) -> int:
+        """Payload bytes currently held by the stored nodes."""
+        with self._lock:
+            (total,) = self._connection.execute(
+                "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM signals"
+            ).fetchone()
+            return int(total)
 
     def __len__(self) -> int:
         with self._lock:
@@ -343,6 +394,8 @@ class SQLiteSignalStore:
         """Drop every stored node (statistics are kept)."""
         with self._lock:
             self._connection.execute("DELETE FROM signals")
+            if self._budget is not None:
+                self._budget.cleared()
             self._connection.commit()
 
     def close(self) -> None:
@@ -353,23 +406,31 @@ class SQLiteSignalStore:
 def open_signal_store(
     path: Optional[str] = None,
     max_entries: Optional[int] = DEFAULT_STORE_ENTRIES,
+    max_bytes: Optional[int] = None,
 ):
     """Open the right signal-store backend for ``path``.
 
     ``None`` gives the in-process :class:`MemorySignalStore`, a path ending
     in ``.sqlite`` / ``.db`` a :class:`SQLiteSignalStore`, anything else a
     :class:`JSONDirectorySignalStore` rooted at the path — mirroring
-    :func:`repro.runtime.cache.open_cache` one level down.
+    :func:`repro.runtime.cache.open_cache` one level down.  ``max_bytes``
+    budgets the persistent backends only.
     """
     if path is None:
+        if max_bytes is not None:
+            raise ValueError("max_bytes requires a persistent signal store")
         return MemorySignalStore(max_entries=max_entries)
     if path.endswith((".sqlite", ".sqlite3", ".db")):
-        return SQLiteSignalStore(path, max_entries=max_entries)
-    return JSONDirectorySignalStore(path, max_entries=max_entries)
+        return SQLiteSignalStore(path, max_entries=max_entries, max_bytes=max_bytes)
+    return JSONDirectorySignalStore(
+        path, max_entries=max_entries, max_bytes=max_bytes
+    )
 
 
-def signal_store_spec(store: object) -> Optional[Tuple[str, Optional[int]]]:
-    """A picklable ``(path, max_entries)`` descriptor of a persistent store.
+def signal_store_spec(
+    store: object,
+) -> Optional[Tuple[str, Optional[int], Optional[int]]]:
+    """A picklable ``(path, max_entries, max_bytes)`` descriptor of a store.
 
     Used by the process-pool executor: SQLite connections and file handles
     cannot cross a ``fork``/``spawn`` boundary, so each worker reopens the
@@ -378,7 +439,7 @@ def signal_store_spec(store: object) -> Optional[Tuple[str, Optional[int]]]:
     which stay private per worker.
     """
     if isinstance(store, SQLiteSignalStore):
-        return (store.path, store.max_entries)
+        return (store.path, store.max_entries, store.max_bytes)
     if isinstance(store, JSONDirectorySignalStore):
-        return (store.directory, store.max_entries)
+        return (store.directory, store.max_entries, store.max_bytes)
     return None

@@ -1,0 +1,78 @@
+"""Async job-orchestration service over the exploration runtime.
+
+This package turns the one-shot CLI workloads into a long-running,
+network-reachable service: clients submit *jobs* (design-point evaluation
+batches, design-space explorations, resilience sweeps) over JSON/HTTP; an
+asyncio scheduler runs them with priorities, bounded concurrency and
+cooperative cancellation on top of :class:`~repro.runtime.ExplorationRuntime`
+— inheriting every caching layer underneath (result caches, the stage graph
+and its signal stores).  Jobs are content-addressed with the same
+fingerprints as the caches, so identical concurrent submissions execute
+exactly once and repeat submissions are answered instantly.
+
+Everything is standard library: ``asyncio`` for the scheduler and server,
+``http.client`` for the blocking client.
+
+Modules
+-------
+``repro.service.jobs``
+    The job model: request validation, content-addressed job keys,
+    lifecycle states and the canonical JSON result payloads (built on
+    :func:`repro.runtime.cache.serialize_evaluation`, shared with the CLI's
+    ``--json`` mode).
+``repro.service.scheduler``
+    The asyncio scheduler: priority queue, bounded concurrency, in-flight
+    coalescing, completed-job result cache, cooperative cancellation and
+    per-job progress events; plus the per-workload runtime provider.
+``repro.service.server``
+    The JSON-over-HTTP API (``POST /jobs``, ``GET /jobs/{id}``, long-poll
+    ``/events``, ``DELETE`` cancellation, ``/healthz``, ``/stats``) and the
+    background-thread harness used by tests and examples.
+``repro.service.client``
+    A small blocking client (submit / poll / cancel / stats).
+
+Start a server with ``python -m repro serve`` (see ``--help`` for the cache
+and pool options) and drive it with :class:`ServiceClient`.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import (
+    CANCELLED,
+    FAILED,
+    JOB_KINDS,
+    JOB_STATES,
+    RUNNING,
+    SUBMITTED,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    BadRequest,
+    Job,
+    JobCancelled,
+    JobRequest,
+    ServiceBusy,
+)
+from .scheduler import JobScheduler, RuntimeProvider
+from .server import DEFAULT_PORT, ServiceServer, ServiceThread
+
+__all__ = [
+    "BadRequest",
+    "CANCELLED",
+    "DEFAULT_PORT",
+    "FAILED",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobRequest",
+    "JobScheduler",
+    "RUNNING",
+    "RuntimeProvider",
+    "SUBMITTED",
+    "SUCCEEDED",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceThread",
+    "TERMINAL_STATES",
+]

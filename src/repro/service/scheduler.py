@@ -1,0 +1,371 @@
+"""Asyncio job scheduler over the exploration runtime.
+
+Submission flow::
+
+    submit(payload) -> JobRequest.from_payload -> job_key
+        in-flight job with the same key?   -> coalesce onto it (one execution)
+        completed job with the same key?   -> answer instantly from its result
+        otherwise                          -> enqueue by (priority, arrival)
+
+A fixed set of worker tasks drains the priority queue with bounded
+concurrency; each job executes in a thread (the runtime is synchronous) via
+``loop.run_in_executor``, streaming progress events back onto the loop with
+``call_soon_threadsafe``.  Cancellation is cooperative: ``cancel()`` flips
+the job's ``cancel_requested`` event, which the execution thread polls at
+every runtime progress point and answers by raising
+:exc:`~repro.service.jobs.JobCancelled` — so a running batch stops at the
+next resolved design, not at the end of the sweep.
+
+:class:`RuntimeProvider` owns the :class:`ExplorationRuntime` instances, one
+per record workload, all sharing one result cache and one signal store — the
+content-addressed keys make a shared cache safe across workloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.cache import MemoryResultCache, ResultCache
+from ..runtime.chunking import ChunkPolicy
+from ..runtime.engine import ExplorationRuntime
+from ..signals.records import load_record
+from .jobs import (
+    CANCELLED,
+    FAILED,
+    RUNNING,
+    SUBMITTED,
+    SUCCEEDED,
+    BadRequest,
+    Job,
+    JobCancelled,
+    JobRequest,
+    ServiceBusy,
+)
+
+__all__ = ["RuntimeProvider", "JobScheduler"]
+
+
+class RuntimeProvider:
+    """Lazily builds one :class:`ExplorationRuntime` per record workload.
+
+    All runtimes share the provider's result cache and signal store; keys
+    are content-addressed, so results from different workloads coexist in
+    one backend without collisions.
+    """
+
+    def __init__(
+        self,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        signal_store: Optional[object] = None,
+        chunk_policy: Optional[ChunkPolicy] = None,
+        default_records: Tuple[str, ...] = ("16265",),
+        default_duration_s: float = 10.0,
+    ) -> None:
+        self.executor = executor
+        self.max_workers = max_workers
+        self.cache: ResultCache = cache if cache is not None else MemoryResultCache()
+        self.signal_store = signal_store
+        self.chunk_policy = chunk_policy
+        self.default_records = tuple(default_records)
+        self.default_duration_s = default_duration_s
+        self._runtimes: Dict[Tuple[Tuple[str, ...], float], ExplorationRuntime] = {}
+        self._lock = threading.Lock()
+
+    def runtime_for(self, request: JobRequest) -> ExplorationRuntime:
+        """The runtime evaluating ``request``'s workload (built on first use)."""
+        key = request.workload_key
+        with self._lock:
+            runtime = self._runtimes.get(key)
+            if runtime is None:
+                names, duration_s = key
+                records = [
+                    load_record(name, duration_s=duration_s) for name in names
+                ]
+                runtime = ExplorationRuntime(
+                    records,
+                    executor=self.executor,
+                    max_workers=self.max_workers,
+                    cache=self.cache,
+                    chunk_policy=self.chunk_policy,
+                    signal_store=self.signal_store,
+                )
+                self._runtimes[key] = runtime
+            return runtime
+
+    def shutdown(self) -> None:
+        """Tear down every runtime's worker pool."""
+        with self._lock:
+            for runtime in self._runtimes.values():
+                runtime.shutdown()
+
+    def statistics(self) -> Dict[str, object]:
+        """Cache, signal-store and per-workload telemetry (for ``/stats``)."""
+        cache_stats = self.cache.stats.as_dict()
+        cache_stats["entries"] = len(self.cache)
+        size_bytes = self.cache.size_bytes()
+        if size_bytes is not None:
+            cache_stats["size_bytes"] = size_bytes
+        doc: Dict[str, object] = {"result_cache": cache_stats, "workloads": []}
+        store = self.signal_store
+        if store is not None:
+            store_stats = getattr(store, "stats", None)
+            if store_stats is not None:
+                stats_doc = store_stats.as_dict()
+                if hasattr(store, "size_bytes"):
+                    stats_doc["size_bytes"] = store.size_bytes()
+                doc["signal_store"] = stats_doc
+        with self._lock:
+            runtimes = dict(self._runtimes)
+        for (names, duration_s), runtime in runtimes.items():
+            doc["workloads"].append(
+                {
+                    "records": list(names),
+                    "duration_s": duration_s,
+                    "telemetry": runtime.telemetry.snapshot(),
+                    "stage_hit_rate": runtime.stage_stats.hit_rate(),
+                }
+            )
+        return doc
+
+
+class JobScheduler:
+    """Priority-queued, coalescing, cancellable job execution.
+
+    All public coroutines/methods must run on the scheduler's event loop;
+    the HTTP server shares that loop, and tests drive the scheduler directly
+    inside ``asyncio.run``.
+    """
+
+    def __init__(
+        self,
+        provider: Optional[RuntimeProvider] = None,
+        max_concurrency: int = 2,
+        max_jobs: int = 4096,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        self.provider = provider if provider is not None else RuntimeProvider()
+        self.max_concurrency = max_concurrency
+        self.max_jobs = max_jobs
+        self._queue: "asyncio.PriorityQueue[Tuple[int, int, Job]]" = (
+            asyncio.PriorityQueue()
+        )
+        self._jobs: "Dict[str, Job]" = {}
+        self._by_key: Dict[str, Job] = {}
+        self._workers: List[asyncio.Task] = []
+        self._arrival = itertools.count()
+        self._job_ids = itertools.count(1)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.counters = {
+            "submitted": 0,
+            "coalesced": 0,
+            "served_from_cache": 0,
+            "executed": 0,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        self._loop = asyncio.get_running_loop()
+        while len(self._workers) < self.max_concurrency:
+            self._workers.append(
+                asyncio.create_task(
+                    self._worker(), name=f"repro-job-worker-{len(self._workers)}"
+                )
+            )
+
+    async def shutdown(self) -> None:
+        """Cancel the workers and tear down the runtimes."""
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.provider.shutdown
+        )
+
+    # ----------------------------------------------------------- submission
+    async def submit(self, payload: object) -> Tuple[Job, bool, bool]:
+        """Submit a job payload; returns ``(job, coalesced, from_cache)``.
+
+        Raises :exc:`BadRequest` for malformed payloads (mapped to HTTP 400
+        by the server layer) and :exc:`ServiceBusy` when the job table is
+        full (mapped to 503) — coalescing submissions still succeed at
+        capacity, since they add no table entry.
+        """
+        request = JobRequest.from_payload(
+            payload,
+            default_records=self.provider.default_records,
+            default_duration_s=self.provider.default_duration_s,
+        )
+        key = request.job_key()
+        existing = self._by_key.get(key)
+        if existing is not None:
+            if not existing.done and not existing.cancel_requested.is_set():
+                # Identical request already queued or running: coalesce onto
+                # the one execution.  (A cancel-requested job is skipped —
+                # the new submitter did not ask for a cancelled result.)
+                self.counters["submitted"] += 1
+                existing.coalesced += 1
+                self.counters["coalesced"] += 1
+                return existing, True, False
+            if existing.state == SUCCEEDED:
+                # Identical request already answered: serve a fresh job
+                # straight from the completed result.
+                self._require_capacity()
+                self.counters["submitted"] += 1
+                job = Job(
+                    id=self._new_job_id(),
+                    request=request,
+                    key=key,
+                    state=SUCCEEDED,
+                    result=existing.result,
+                    from_cache=True,
+                )
+                job.started_at = job.finished_at = job.submitted_at
+                job.append_event({"type": "state", "state": SUCCEEDED})
+                self._jobs[job.id] = job
+                self.counters["served_from_cache"] += 1
+                return job, False, True
+            # Failed, cancelled or being cancelled: execute afresh.
+        self._require_capacity()
+        self.counters["submitted"] += 1
+        job = Job(id=self._new_job_id(), request=request, key=key)
+        job.append_event({"type": "state", "state": SUBMITTED})
+        self._jobs[job.id] = job
+        self._by_key[key] = job
+        await self._queue.put((request.priority, next(self._arrival), job))
+        return job, False, False
+
+    def _require_capacity(self) -> None:
+        if len(self._jobs) >= self.max_jobs:
+            raise ServiceBusy(
+                f"job table is full ({self.max_jobs} jobs); try again later"
+            )
+
+    def _new_job_id(self) -> str:
+        return f"job-{next(self._job_ids):06d}"
+
+    # -------------------------------------------------------------- queries
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id`` (raises :exc:`KeyError` when unknown)."""
+        return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        """Every known job, oldest first."""
+        return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns False when the job already finished.
+
+        A queued job is cancelled immediately; a running job stops at its
+        next progress point (cooperative cancellation).
+        """
+        job = self.get(job_id)
+        if job.done:
+            return False
+        job.cancel_requested.set()
+        if job.state == SUBMITTED:
+            self._transition(job, CANCELLED)
+        return True
+
+    async def wait_for_events(
+        self, job_id: str, after: int = 0, timeout: float = 10.0
+    ) -> List[Dict[str, object]]:
+        """Long-poll: events past index ``after``, waiting up to ``timeout``.
+
+        Returns immediately once events are available or the job is done;
+        otherwise waits for the next event (or the timeout).
+        """
+        job = self.get(job_id)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        while len(job.events) <= after and not job.done:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            job.changed.clear()
+            if len(job.events) > after or job.done:
+                break
+            try:
+                await asyncio.wait_for(job.changed.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        return job.events[after:]
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` document: job counters plus runtime/cache telemetry."""
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": {
+                "total": len(self._jobs),
+                "queued": self._queue.qsize(),
+                "states": states,
+                **self.counters,
+            },
+            "runtime": self.provider.statistics(),
+        }
+
+    # ------------------------------------------------------------ execution
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, job = await self._queue.get()
+            try:
+                if job.done:
+                    continue  # cancelled while queued
+                if job.cancel_requested.is_set():
+                    self._transition(job, CANCELLED)
+                    continue
+                self._transition(job, RUNNING)
+                try:
+                    result = await loop.run_in_executor(None, self._execute, job)
+                except JobCancelled:
+                    self._transition(job, CANCELLED)
+                except BadRequest as error:
+                    job.error = str(error)
+                    self._transition(job, FAILED)
+                except Exception as error:  # noqa: BLE001 - job isolation
+                    job.error = f"{type(error).__name__}: {error}"
+                    self._transition(job, FAILED)
+                else:
+                    job.result = result
+                    self.counters["executed"] += 1
+                    self._transition(job, SUCCEEDED)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> Dict[str, object]:
+        """Run one job in a worker thread of the loop's default executor."""
+        loop = self._loop
+        assert loop is not None, "scheduler was not started"
+        runtime = self.provider.runtime_for(job.request)
+
+        def progress(event: Dict[str, object]) -> None:
+            loop.call_soon_threadsafe(job.append_event, event)
+
+        return job.request.execute(
+            runtime, progress=progress, cancelled=job.cancel_requested.is_set
+        )
+
+    def _transition(self, job: Job, state: str) -> None:
+        """Advance a job's state and wake waiters (loop thread only)."""
+        job.state = state
+        now = time.time()
+        if state == RUNNING:
+            job.started_at = now
+        elif state in (SUCCEEDED, FAILED, CANCELLED):
+            job.finished_at = now
+        job.append_event({"type": "state", "state": state})

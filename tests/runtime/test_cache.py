@@ -189,3 +189,85 @@ class TestOpenCache:
         assert sqlite.max_entries == 7
         sqlite.close()
         assert open_cache(str(tmp_path / "dir"), max_entries=7).max_entries == 7
+
+
+class TestByteBudgetEviction:
+    """max_bytes: oldest entries evicted once payload bytes exceed the budget."""
+
+    def _entry_size(self, tmp_path, sample_evaluation):
+        probe = JSONDirectoryCache(str(tmp_path / "probe"))
+        probe.put("probe", sample_evaluation)
+        return probe.size_bytes()
+
+    def test_json_directory_byte_budget(self, tmp_path, sample_evaluation):
+        entry = self._entry_size(tmp_path, sample_evaluation)
+        cache = JSONDirectoryCache(
+            str(tmp_path / "budget"), max_bytes=2 * entry + entry // 2
+        )
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, sample_evaluation)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert cache.size_bytes() <= cache.max_bytes
+        # The newest entries survive.
+        assert cache.get("d") is not None and cache.get("c") is not None
+        assert cache.get("a") is None
+
+    def test_json_newest_entry_survives_tiny_budget(self, tmp_path,
+                                                    sample_evaluation):
+        cache = JSONDirectoryCache(str(tmp_path / "tiny"), max_bytes=1)
+        cache.put("a", sample_evaluation)
+        assert len(cache) == 1  # one oversized entry is kept, not thrashed
+        cache.put("b", sample_evaluation)
+        assert len(cache) == 1
+        assert cache.get("b") is not None and cache.get("a") is None
+
+    def test_sqlite_byte_budget(self, tmp_path, sample_evaluation):
+        probe = SQLiteResultCache(str(tmp_path / "probe.sqlite"))
+        probe.put("probe", sample_evaluation)
+        entry = probe.size_bytes()
+        probe.close()
+        cache = SQLiteResultCache(
+            str(tmp_path / "budget.sqlite"), max_bytes=2 * entry + entry // 2
+        )
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, sample_evaluation)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert cache.size_bytes() <= cache.max_bytes
+        assert cache.get("d") is not None
+        assert cache.get("a") is None
+        cache.close()
+
+    def test_sqlite_newest_entry_survives_tiny_budget(self, tmp_path,
+                                                      sample_evaluation):
+        cache = SQLiteResultCache(str(tmp_path / "tiny.sqlite"), max_bytes=1)
+        cache.put("a", sample_evaluation)
+        cache.put("b", sample_evaluation)
+        assert len(cache) == 1
+        assert cache.get("b") is not None
+        cache.close()
+
+    def test_byte_and_entry_budgets_compose(self, tmp_path, sample_evaluation):
+        entry = self._entry_size(tmp_path, sample_evaluation)
+        cache = JSONDirectoryCache(
+            str(tmp_path / "both"), max_entries=3, max_bytes=10 * entry
+        )
+        for index in range(5):
+            cache.put(f"k{index}", sample_evaluation)
+        assert len(cache) == 3  # entry cap binds before the byte budget
+        assert cache.stats.evictions == 2
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            JSONDirectoryCache(str(tmp_path / "bad"), max_bytes=0)
+        with pytest.raises(ValueError):
+            SQLiteResultCache(str(tmp_path / "bad.sqlite"), max_bytes=0)
+
+    def test_open_cache_forwards_max_bytes(self, tmp_path):
+        sqlite = open_cache(str(tmp_path / "c.sqlite"), max_bytes=4096)
+        assert sqlite.max_bytes == 4096
+        sqlite.close()
+        assert open_cache(str(tmp_path / "dir"), max_bytes=4096).max_bytes == 4096
+        with pytest.raises(ValueError):
+            open_cache(None, max_bytes=4096)  # memory backend has no bytes

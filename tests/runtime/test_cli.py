@@ -91,3 +91,83 @@ class TestModuleEntryPoint:
         )
         assert completed.returncode == 0, completed.stderr
         assert "grid exploration: 4 designs evaluated" in completed.stdout
+
+
+class TestJsonOutput:
+    def test_evaluate_json_is_the_canonical_shape(self, capsys):
+        import json
+
+        assert main(["evaluate", "--config", "B9", "--json", *COMMON]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "evaluate"
+        (evaluation,) = document["evaluations"]
+        assert evaluation["design"]["name"] == "B9"
+        assert set(evaluation) >= {
+            "psnr_db", "ssim_value", "peak_accuracy", "energy_reduction",
+            "per_record_accuracy",
+        }
+        assert document["statistics"]["evaluations"] == 1
+
+    def test_evaluate_json_matches_the_result_cache_serializer(self, capsys):
+        """One canonical DesignEvaluation JSON shape across CLI and caches."""
+        import json
+
+        from repro.core import paper_configuration
+        from repro.runtime import ExplorationRuntime
+        from repro.runtime.cache import serialize_evaluation
+        from repro.signals import load_record
+
+        assert main(["evaluate", "--config", "B9", "--json", *COMMON]) == 0
+        document = json.loads(capsys.readouterr().out)
+        record = load_record("16265", duration_s=4.0)
+        with ExplorationRuntime([record], executor="serial") as runtime:
+            direct = serialize_evaluation(
+                runtime.evaluate(paper_configuration("B9"))
+            )
+        assert document["evaluations"][0] == direct
+
+    def test_explore_json_document(self, capsys):
+        import json
+
+        assert main(["explore", "--max-designs", "3", "--json", *COMMON]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "explore"
+        assert document["designs_evaluated"] == 3
+        assert len(document["evaluations"]) == 3
+        assert document["constraint"] == {"metric": "psnr", "threshold": 15.0}
+
+    def test_explore_json_rejects_algorithm1(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--method", "algorithm1", "--json", *COMMON])
+
+
+class TestByteBudgetFlags:
+    def test_byte_budgets_require_persistent_backends(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--config", "B9", "--cache-max-bytes", "1024",
+                  *COMMON])
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--config", "B9", "--signal-store-max-bytes",
+                  "1024", *COMMON])
+
+    def test_nonpositive_byte_budget_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--config", "B9",
+                  "--cache", str(tmp_path / "c.sqlite"),
+                  "--cache-max-bytes", "0", *COMMON])
+
+    def test_cache_byte_budget_runs_end_to_end(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache.sqlite")
+        args = ["explore", "--max-designs", "3", "--cache", cache,
+                "--cache-max-bytes", "100000000", *COMMON]
+        assert main(args) == 0
+        assert "grid exploration" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_rejects_bad_options(self):
+        parser_args = ["serve", "--concurrency", "0", *COMMON]
+        with pytest.raises(SystemExit):
+            main(parser_args)
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "70000", *COMMON])

@@ -170,12 +170,13 @@ class TestOpenSignalStore:
 class TestSignalStoreSpec:
     def test_persistent_stores_yield_reopenable_specs(self, tmp_path):
         sqlite = SQLiteSignalStore(str(tmp_path / "s.sqlite"), max_entries=9)
-        assert signal_store_spec(sqlite) == (str(tmp_path / "s.sqlite"), 9)
+        assert signal_store_spec(sqlite) == (str(tmp_path / "s.sqlite"), 9, None)
         sqlite.close()
         json_store = JSONDirectorySignalStore(str(tmp_path / "dir"))
         assert signal_store_spec(json_store) == (
             str(tmp_path / "dir"),
             json_store.max_entries,
+            None,
         )
 
     def test_memory_store_has_no_spec(self):
@@ -257,3 +258,67 @@ class TestStageMemoizationAcrossBackends:
         # The pool populated every node these designs need.
         assert warm.stage_stats.total_computes == 0
         warm_store.close()
+
+
+# --------------------------------------------------------- byte budgets
+class TestByteBudgetEviction:
+    """max_bytes on the persistent stores: oldest nodes out, newest kept."""
+
+    def test_json_store_byte_budget(self, tmp_path):
+        probe = JSONDirectorySignalStore(str(tmp_path / "probe"))
+        probe.put("probe", np.arange(256, dtype=np.int64))
+        node_bytes = probe.size_bytes()
+        store = JSONDirectorySignalStore(
+            str(tmp_path / "budget"), max_bytes=2 * node_bytes + node_bytes // 2
+        )
+        for index in range(5):
+            store.put(f"k{index}", np.arange(256, dtype=np.int64))
+        assert len(store) == 2
+        assert store.stats.evictions == 3
+        assert store.size_bytes() <= store.max_bytes
+        assert store.get("k4") is not None
+        assert store.get("k0") is None
+
+    def test_sqlite_store_byte_budget(self, tmp_path):
+        probe = SQLiteSignalStore(str(tmp_path / "probe.sqlite"))
+        probe.put("probe", np.arange(256, dtype=np.int64))
+        node_bytes = probe.size_bytes()
+        probe.close()
+        store = SQLiteSignalStore(
+            str(tmp_path / "budget.sqlite"),
+            max_bytes=2 * node_bytes + node_bytes // 2,
+        )
+        for index in range(5):
+            store.put(f"k{index}", np.arange(256, dtype=np.int64))
+        assert len(store) == 2
+        assert store.stats.evictions == 3
+        assert store.size_bytes() <= store.max_bytes
+        assert store.get("k4") is not None
+        assert store.get("k0") is None
+        store.close()
+
+    def test_newest_node_survives_tiny_budget(self, tmp_path):
+        store = SQLiteSignalStore(str(tmp_path / "tiny.sqlite"), max_bytes=1)
+        store.put("a", np.arange(64, dtype=np.int64))
+        store.put("b", np.arange(64, dtype=np.int64))
+        assert len(store) == 1
+        assert store.get("b") is not None
+        store.close()
+
+    def test_open_signal_store_forwards_max_bytes(self, tmp_path):
+        sqlite = open_signal_store(str(tmp_path / "s.sqlite"), max_bytes=8192)
+        assert sqlite.max_bytes == 8192
+        sqlite.close()
+        json_store = open_signal_store(str(tmp_path / "dir"), max_bytes=8192)
+        assert json_store.max_bytes == 8192
+        with pytest.raises(ValueError):
+            open_signal_store(None, max_bytes=8192)
+
+    def test_spec_carries_the_byte_budget(self, tmp_path):
+        store = SQLiteSignalStore(
+            str(tmp_path / "spec.sqlite"), max_entries=9, max_bytes=12345
+        )
+        assert signal_store_spec(store) == (
+            str(tmp_path / "spec.sqlite"), 9, 12345,
+        )
+        store.close()
