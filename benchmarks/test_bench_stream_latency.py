@@ -1,0 +1,115 @@
+"""Streaming benchmark — per-chunk latency and real-time headroom.
+
+Feeds the 10 s benchmark record through a :class:`repro.streaming`
+``StreamSession`` for the accurate datapath and two named approximate
+configurations, at wearable-realistic chunk sizes, and reports per-chunk
+processing latency (mean / p95 / max) against the real-time budget — the
+wall-clock duration of signal each chunk represents.  A session keeps up
+with a live sensor iff its worst chunk stays under that budget.
+
+The reproduced table is written to
+``benchmarks/results/stream_latency.txt``.  Latencies are host-dependent, so
+the report records them; what is asserted is structural: the streamed beat
+list is bit-identical to the offline pipeline for every configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import format_row, write_report
+
+from repro.core.configurations import DesignPoint, paper_configuration
+from repro.dsp.pan_tompkins import PanTompkinsPipeline
+from repro.streaming import ReplaySource, StreamSession
+
+#: Chunk sizes in samples at the 200 Hz effective record rate: 250 ms and 1 s.
+CHUNK_SIZES = (50, 200)
+
+DESIGNS = (
+    DesignPoint.accurate(),
+    paper_configuration("B6"),
+    paper_configuration("B10"),
+)
+
+
+def run_session(record, design, chunk_samples):
+    """Stream one record through a session; return (session, reports)."""
+    session = StreamSession(
+        design=design,
+        sample_rate_hz=record.sample_rate_hz,
+        true_peaks=record.r_peak_indices,
+    )
+    reports = [
+        session.push(chunk)
+        for chunk in ReplaySource(record, chunk_samples=chunk_samples)
+    ]
+    session.finalize()
+    return session, reports
+
+
+def test_stream_latency(benchmark, bench_record):
+    offline = {
+        design.name: PanTompkinsPipeline(backends=design.backends()).process(
+            bench_record.samples
+        )
+        for design in DESIGNS
+    }
+
+    rows = []
+    benchmarked = False
+    for design in DESIGNS:
+        for chunk_samples in CHUNK_SIZES:
+            if not benchmarked:
+                # One representative pass through pytest-benchmark timing.
+                session, reports = benchmark.pedantic(
+                    run_session,
+                    args=(bench_record, design, chunk_samples),
+                    rounds=1,
+                    iterations=1,
+                )
+                benchmarked = True
+            else:
+                session, reports = run_session(
+                    bench_record, design, chunk_samples
+                )
+            # Structural acceptance: streamed beats == offline beats.
+            assert session.beats == list(
+                offline[design.name].detection.peak_indices
+            ), f"{design.name} chunk={chunk_samples}"
+
+            latencies = np.asarray(
+                [report.processing_ms for report in reports], dtype=np.float64
+            )
+            budget_ms = 1000.0 * chunk_samples / bench_record.sample_rate_hz
+            rows.append(
+                (
+                    design.name,
+                    chunk_samples,
+                    budget_ms,
+                    float(latencies.mean()),
+                    float(np.percentile(latencies, 95)),
+                    float(latencies.max()),
+                    budget_ms / float(latencies.max()),
+                )
+            )
+
+    widths = (8, 8, 12, 10, 10, 10, 12)
+    lines = [
+        f"Stream session latency: record {bench_record.name}, "
+        f"{bench_record.samples.size} samples @ "
+        f"{bench_record.sample_rate_hz:g} Hz",
+        "",
+        format_row(
+            ("design", "chunk", "budget[ms]", "mean[ms]", "p95[ms]",
+             "max[ms]", "headroom[x]"),
+            widths,
+        ),
+    ]
+    for row in rows:
+        lines.append(format_row(row, widths))
+    lines.append("")
+    lines.append(
+        "headroom = real-time budget / worst chunk latency "
+        "(>1 keeps up with a live sensor)"
+    )
+    write_report("stream_latency", lines)

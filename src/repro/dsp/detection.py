@@ -21,7 +21,17 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["PeakDetectionConfig", "PeakDetectionResult", "detect_peaks"]
+__all__ = [
+    "LEARNING_WINDOW_SAMPLES",
+    "PeakDetectionConfig",
+    "PeakDetectionResult",
+    "ThresholdState",
+    "detect_peaks",
+]
+
+#: Length of the initial learning window (two seconds at 200 Hz) used to seed
+#: the adaptive thresholds.
+LEARNING_WINDOW_SAMPLES = 400
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,7 @@ def _aligned_with_filtered(
     window: int,
     tolerance: int,
     min_amplitude_ratio: float,
+    global_peak: Optional[float] = None,
 ) -> bool:
     """Check that a prominent filtered-signal peak exists near the MWI peak.
 
@@ -111,13 +122,17 @@ def _aligned_with_filtered(
     reaches at least ``min_amplitude_ratio`` of the band-passed signal's
     global peak.  A spurious MWI bump caused by approximation noise between
     beats fails this check because the filtered signal is quiet there.
+
+    ``global_peak`` lets callers precompute ``max(abs(filtered))`` once per
+    pass (the streaming detector tracks it as a running maximum).
     """
     if filtered is None:
         return True
     filtered = np.asarray(filtered, dtype=np.float64)
     if filtered.size == 0:
         return False
-    global_peak = float(np.max(np.abs(filtered)))
+    if global_peak is None:
+        global_peak = float(np.max(np.abs(filtered)))
     if global_peak <= 0.0:
         return False
     lo = max(0, mwi_index - window - tolerance)
@@ -126,6 +141,121 @@ def _aligned_with_filtered(
         return False
     local_peak = float(np.max(np.abs(filtered[lo:hi])))
     return local_peak >= min_amplitude_ratio * global_peak
+
+
+class ThresholdState:
+    """Carryable state of the adaptive-threshold decision logic.
+
+    One instance holds everything the per-candidate loop of the original
+    algorithm mutates: the running signal/noise estimates (``SPKI`` /
+    ``NPKI``), the accepted-beat list, the RR-interval history and the
+    rejected/misaligned bookkeeping.  :func:`detect_peaks` drives it over a
+    whole recording; the streaming detector
+    (:mod:`repro.streaming.detector`) drives the *same* code candidate by
+    candidate as samples arrive, which is what makes chunked detection
+    bit-identical to the offline pass.
+    """
+
+    def __init__(self, config: Optional[PeakDetectionConfig] = None) -> None:
+        self.config = config or PeakDetectionConfig()
+        self.spki = 0.0
+        self.npki = 0.0
+        self.accepted: List[int] = []
+        self.rr_intervals: List[int] = []
+        self.rejected_indices: List[int] = []
+        self.misaligned_indices: List[int] = []
+        self.threshold_trace: List[float] = []
+        self.initialised = False
+
+    def initialise(self, learning: np.ndarray) -> None:
+        """Seed the thresholds from the learning window (first two seconds)."""
+        learning = np.asarray(learning, dtype=np.float64)
+        self.spki = float(np.max(learning)) * 0.25 if learning.size else 0.0
+        self.npki = float(np.mean(learning)) * 0.5 if learning.size else 0.0
+        self.initialised = True
+
+    def threshold(self) -> float:
+        """The current adaptive signal threshold."""
+        return self.npki + self.config.threshold_fraction * (self.spki - self.npki)
+
+    def _accept(self, index: int, value: float) -> None:
+        weight = self.config.signal_weight
+        self.spki = weight * value + (1.0 - weight) * self.spki
+        if self.accepted:
+            self.rr_intervals.append(index - self.accepted[-1])
+            if len(self.rr_intervals) > 8:
+                self.rr_intervals.pop(0)
+        self.accepted.append(index)
+
+    def _reject(self, index: int, value: float) -> None:
+        weight = self.config.noise_weight
+        self.npki = weight * value + (1.0 - weight) * self.npki
+        self.rejected_indices.append(index)
+
+    def process_candidate(
+        self,
+        index: int,
+        mwi: np.ndarray,
+        filtered: Optional[np.ndarray] = None,
+        filtered_global_peak: Optional[float] = None,
+    ) -> None:
+        """Classify one candidate peak (candidates must arrive in order).
+
+        ``mwi`` and ``filtered`` only need to cover the signal up to
+        ``index + alignment_tolerance_samples`` — everything the decision
+        reads lies at or before that point, which is the property the
+        streaming detector relies on.
+        """
+        config = self.config
+        index = int(index)
+        value = float(mwi[index])
+        self.threshold_trace.append(self.threshold())
+
+        if self.accepted and index - self.accepted[-1] < config.refractory_samples:
+            return
+
+        if value >= self.threshold_trace[-1]:
+            if _aligned_with_filtered(
+                index,
+                filtered,
+                config.search_window_samples,
+                config.alignment_tolerance_samples,
+                config.min_alignment_amplitude_ratio,
+                global_peak=filtered_global_peak,
+            ):
+                self._accept(index, value)
+            else:
+                self.misaligned_indices.append(index)
+                self._reject(index, value)
+        else:
+            self._reject(index, value)
+
+        # Search-back: if the gap since the last accepted beat exceeds the
+        # expected RR interval, re-examine rejected candidates with the lower
+        # threshold.
+        if self.accepted and self.rr_intervals:
+            average_rr = float(np.mean(self.rr_intervals))
+            if index - self.accepted[-1] > config.searchback_rr_factor * average_rr:
+                window_lo = self.accepted[-1] + config.refractory_samples
+                missed = [
+                    r
+                    for r in self.rejected_indices
+                    if window_lo <= r < index and mwi[r] >= 0.5 * self.threshold()
+                ]
+                if missed:
+                    best = max(missed, key=lambda r: mwi[r])
+                    self.rejected_indices.remove(best)
+                    self._accept(int(best), float(mwi[best]))
+                    self.accepted.sort()
+
+    def finish(self) -> PeakDetectionResult:
+        """Render the state into a :class:`PeakDetectionResult`."""
+        return PeakDetectionResult(
+            peak_indices=sorted(self.accepted),
+            rejected_indices=list(self.rejected_indices),
+            misaligned_indices=list(self.misaligned_indices),
+            threshold_trace=list(self.threshold_trace),
+        )
 
 
 def detect_peaks(
@@ -147,79 +277,25 @@ def detect_peaks(
     """
     config = config or PeakDetectionConfig()
     mwi = np.asarray(mwi_signal, dtype=np.float64)
-    result = PeakDetectionResult()
     if mwi.size == 0:
-        return result
+        return PeakDetectionResult()
 
     candidates = _candidate_peaks(mwi, config.refractory_samples, config.min_peak_value)
     if candidates.size == 0:
-        return result
+        return PeakDetectionResult()
+
+    filtered: Optional[np.ndarray] = None
+    global_peak: Optional[float] = None
+    if filtered_signal is not None:
+        filtered = np.asarray(filtered_signal, dtype=np.float64)
+        if filtered.size:
+            global_peak = float(np.max(np.abs(filtered)))
 
     # Initial threshold estimates from the first two seconds of signal.
-    learning = mwi[: min(mwi.size, 400)]
-    spki = float(np.max(learning)) * 0.25 if learning.size else 0.0
-    npki = float(np.mean(learning)) * 0.5 if learning.size else 0.0
-
-    accepted: List[int] = []
-    rr_intervals: List[int] = []
-
-    def _threshold() -> float:
-        return npki + config.threshold_fraction * (spki - npki)
-
-    def _accept(index: int, value: float) -> None:
-        nonlocal spki
-        spki = config.signal_weight * value + (1.0 - config.signal_weight) * spki
-        if accepted:
-            rr_intervals.append(index - accepted[-1])
-            if len(rr_intervals) > 8:
-                rr_intervals.pop(0)
-        accepted.append(index)
-
-    def _reject(index: int, value: float) -> None:
-        nonlocal npki
-        npki = config.noise_weight * value + (1.0 - config.noise_weight) * npki
-        result.rejected_indices.append(index)
-
+    state = ThresholdState(config)
+    state.initialise(mwi[: min(mwi.size, LEARNING_WINDOW_SAMPLES)])
     for index in candidates:
-        value = float(mwi[index])
-        threshold = _threshold()
-        result.threshold_trace.append(threshold)
-
-        if accepted and index - accepted[-1] < config.refractory_samples:
-            continue
-
-        if value >= threshold:
-            if _aligned_with_filtered(
-                int(index),
-                filtered_signal,
-                config.search_window_samples,
-                config.alignment_tolerance_samples,
-                config.min_alignment_amplitude_ratio,
-            ):
-                _accept(int(index), value)
-            else:
-                result.misaligned_indices.append(int(index))
-                _reject(int(index), value)
-        else:
-            _reject(int(index), value)
-
-        # Search-back: if the gap since the last accepted beat exceeds the
-        # expected RR interval, re-examine rejected candidates with the lower
-        # threshold.
-        if accepted and rr_intervals:
-            average_rr = float(np.mean(rr_intervals))
-            if index - accepted[-1] > config.searchback_rr_factor * average_rr:
-                window_lo = accepted[-1] + config.refractory_samples
-                missed = [
-                    r
-                    for r in result.rejected_indices
-                    if window_lo <= r < index and mwi[r] >= 0.5 * _threshold()
-                ]
-                if missed:
-                    best = max(missed, key=lambda r: mwi[r])
-                    result.rejected_indices.remove(best)
-                    _accept(int(best), float(mwi[best]))
-                    accepted.sort()
-
-    result.peak_indices = sorted(accepted)
-    return result
+        state.process_candidate(
+            int(index), mwi, filtered, filtered_global_peak=global_peak
+        )
+    return state.finish()

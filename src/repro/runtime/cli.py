@@ -15,10 +15,19 @@ Four subcommands drive the :class:`~repro.runtime.ExplorationRuntime`:
     runtime so the sweep points spread over the worker pool.
 ``serve``
     Start the job-orchestration service (:mod:`repro.service`): a JSON/HTTP
-    API accepting the same three workloads as concurrent, cancellable,
-    coalescing jobs (``--host``/``--port``/``--concurrency``; the runtime
-    options configure the shared caches and pool, and ``--records`` /
-    ``--duration`` become the default workload for requests that omit them).
+    API accepting the same three workloads (plus live ``stream`` sessions)
+    as concurrent, cancellable, coalescing jobs (``--host``/``--port``/
+    ``--concurrency``; the runtime options configure the shared caches and
+    pool, and ``--records`` / ``--duration`` become the default workload for
+    requests that omit them; ``--event-backlog`` bounds per-job event
+    history, ``--job-ttl`` garbage-collects finished jobs).
+``stream``
+    Run a live streaming session locally (:mod:`repro.streaming`): the named
+    record is replayed chunk by chunk through the online Pan-Tompkins
+    pipeline, printing each beat as it is detected together with
+    quality-so-far and cumulative energy.  The final beat list is
+    bit-identical to the offline pipeline on the same record
+    (``--verify`` asserts it).
 
 All subcommands share the runtime options: ``--records``, ``--duration``,
 ``--executor``, ``--workers``, ``--cache`` (a ``.sqlite``/``.db`` file or a
@@ -346,7 +355,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_records=tuple(names),
         default_duration_s=args.duration,
     )
-    scheduler = JobScheduler(provider, max_concurrency=args.concurrency)
+    if args.event_backlog < 1:
+        raise SystemExit(
+            f"error: --event-backlog must be >= 1, got {args.event_backlog}"
+        )
+    if args.job_ttl is not None and args.job_ttl <= 0:
+        raise SystemExit(f"error: --job-ttl must be positive, got {args.job_ttl}")
+    scheduler = JobScheduler(
+        provider,
+        max_concurrency=args.concurrency,
+        event_backlog=args.event_backlog,
+        job_ttl_s=args.job_ttl,
+    )
     server = ServiceServer(scheduler, host=args.host, port=port)
 
     async def _serve() -> None:
@@ -369,6 +389,119 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("repro service stopped")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from ..core.configurations import DesignPoint as _DesignPoint
+    from ..signals.records import load_record
+    from ..streaming import ReplaySource, StreamSession
+
+    if args.config is not None and args.lsbs is not None:
+        raise SystemExit("error: stream takes at most one of --config / --lsbs")
+    if args.config is not None:
+        try:
+            design = paper_configuration(args.config)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+    elif args.lsbs is not None:
+        design = _parse_lsbs(args.lsbs)
+    else:
+        design = _DesignPoint.accurate()
+    if args.chunk_samples < 1:
+        raise SystemExit(
+            f"error: --chunk-samples must be >= 1, got {args.chunk_samples}"
+        )
+    if args.realtime_factor < 0:
+        raise SystemExit(
+            f"error: --realtime-factor must be >= 0, got {args.realtime_factor}"
+        )
+
+    record = load_record(args.record, duration_s=args.duration)
+    source = ReplaySource(
+        record,
+        chunk_samples=args.chunk_samples,
+        realtime_factor=args.realtime_factor,
+    )
+    session = StreamSession(
+        design=design,
+        sample_rate_hz=record.sample_rate_hz,
+        true_peaks=record.r_peak_indices,
+    )
+    if not args.json:
+        print(
+            f"streaming record {args.record} ({args.duration:g} s) through "
+            f"{design.summary()}"
+        )
+        print(
+            f"  {source.chunk_count} chunks of {args.chunk_samples} samples"
+            + (
+                f", paced at {args.realtime_factor:g}x real time"
+                if args.realtime_factor > 0
+                else " (unpaced)"
+            )
+        )
+    for chunk in source:
+        report = session.push(chunk)
+        if args.json:
+            continue
+        for beat in report.beats_added:
+            quality = report.quality or {}
+            f1 = quality.get("f1_score")
+            print(
+                f"  t={beat / record.sample_rate_hz:7.2f}s  beat #{report.beat_count:3d}"
+                f"  hr {report.heart_rate_bpm:5.1f} bpm"
+                + (f"  f1-so-far {f1:.3f}" if f1 is not None else "")
+            )
+        for beat in report.beats_removed:
+            print(f"  t={beat / record.sample_rate_hz:7.2f}s  beat revoked")
+    result = session.finalize()
+
+    if args.verify:
+        from ..dsp.pan_tompkins import PanTompkinsPipeline
+
+        offline = PanTompkinsPipeline(backends=design.backends()).process(
+            record.samples
+        )
+        if list(offline.detection.peak_indices) != list(
+            result.detection.peak_indices
+        ):
+            raise SystemExit(
+                "error: streamed beat list differs from the offline pipeline"
+            )
+        if not args.json:
+            print("verified: streamed beats == offline pipeline beats")
+
+    last = session.reports[-1] if session.reports else None
+    if args.json:
+        document = {
+            "record": args.record,
+            "design": {"name": design.name, "lsbs": design.lsbs_map()},
+            "samples": record.samples.size,
+            "chunks": session.chunk_count,
+            "beats": [int(b) for b in result.detection.peak_indices],
+            "heart_rate_bpm": result.heart_rate_bpm(),
+            "quality": last.quality if last else None,
+            "energy": last.energy if last else {},
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"stream finished: {len(result.detection.peak_indices)} beats, "
+        f"mean heart rate {result.heart_rate_bpm():.1f} bpm"
+    )
+    if last is not None:
+        energy = last.energy
+        print(
+            f"  energy: {energy['cumulative_fj'] / 1e6:.2f} nJ "
+            f"(x{energy['reduction_factor']:.2f} vs accurate)"
+        )
+        if last.quality:
+            print(
+                f"  quality vs ground truth: sensitivity "
+                f"{last.quality['sensitivity']:.3f}, f1 "
+                f"{last.quality['f1_score']:.3f}"
+            )
     return 0
 
 
@@ -441,8 +574,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency", type=int, default=2,
         help="number of jobs executed concurrently (default: 2); each job "
              "additionally parallelises over the runtime's worker pool")
+    serve.add_argument(
+        "--event-backlog", type=int, default=1024, metavar="N",
+        help="per-job event history bound; older events are dropped from "
+             "the ring buffer (default: 1024)")
+    serve.add_argument(
+        "--job-ttl", type=float, default=3600.0, metavar="SECONDS",
+        help="age after which finished jobs are garbage-collected from the "
+             "job table (default: 3600)")
     _add_runtime_options(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="run a live chunked Pan-Tompkins session locally")
+    stream.add_argument(
+        "--record", default="16265",
+        help="record name to synthesize and replay (default: 16265)")
+    stream.add_argument(
+        "--duration", type=float, default=10.0,
+        help="record length in seconds (default: 10)")
+    stream.add_argument(
+        "--config", default=None,
+        help="named Fig. 12 configuration (A2, B1..B14; default: accurate)")
+    stream.add_argument(
+        "--lsbs", default=None,
+        help="explicit design, e.g. lpf=10,hpf=12,mwi=16")
+    stream.add_argument(
+        "--chunk-samples", type=int, default=50,
+        help="samples per chunk (default: 50, i.e. 250 ms at 200 Hz)")
+    stream.add_argument(
+        "--realtime-factor", type=float, default=0.0,
+        help="replay pacing: 1.0 = real time, 2.0 = twice as fast, "
+             "0 = unpaced (default: 0)")
+    stream.add_argument(
+        "--verify", action="store_true",
+        help="also run the offline pipeline and assert the streamed beat "
+             "list is bit-identical")
+    stream.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable session summary instead of the live log")
+    stream.set_defaults(handler=_cmd_stream)
 
     return parser
 

@@ -2,13 +2,17 @@
 
 This package turns the one-shot CLI workloads into a long-running,
 network-reachable service: clients submit *jobs* (design-point evaluation
-batches, design-space explorations, resilience sweeps) over JSON/HTTP; an
-asyncio scheduler runs them with priorities, bounded concurrency and
-cooperative cancellation on top of :class:`~repro.runtime.ExplorationRuntime`
-— inheriting every caching layer underneath (result caches, the stage graph
-and its signal stores).  Jobs are content-addressed with the same
-fingerprints as the caches, so identical concurrent submissions execute
-exactly once and repeat submissions are answered instantly.
+batches, design-space explorations, resilience sweeps, live streaming
+sessions) over JSON/HTTP; an asyncio scheduler runs them with priorities,
+bounded concurrency and cooperative cancellation on top of
+:class:`~repro.runtime.ExplorationRuntime` — inheriting every caching layer
+underneath (result caches, the stage graph and its signal stores).  Batch
+jobs are content-addressed with the same fingerprints as the caches, so
+identical concurrent submissions execute exactly once and repeat submissions
+are answered instantly; ``stream`` jobs (:mod:`repro.streaming`) are
+long-lived sessions whose beats/quality/energy telemetry flows out through
+the events endpoint (long-poll or Server-Sent Events), with per-job event
+backlogs ring-buffered and finished jobs garbage-collected after a TTL.
 
 Everything is standard library: ``asyncio`` for the scheduler and server,
 ``http.client`` for the blocking client.
@@ -46,10 +50,12 @@ from .jobs import (
     SUCCEEDED,
     TERMINAL_STATES,
     BadRequest,
+    EventLog,
     Job,
     JobCancelled,
     JobRequest,
     ServiceBusy,
+    execute_stream,
 )
 from .scheduler import JobScheduler, RuntimeProvider
 from .server import DEFAULT_PORT, ServiceServer, ServiceThread
@@ -58,6 +64,7 @@ __all__ = [
     "BadRequest",
     "CANCELLED",
     "DEFAULT_PORT",
+    "EventLog",
     "FAILED",
     "JOB_KINDS",
     "JOB_STATES",
@@ -75,4 +82,5 @@ __all__ = [
     "ServiceServer",
     "ServiceThread",
     "TERMINAL_STATES",
+    "execute_stream",
 ]

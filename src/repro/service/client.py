@@ -16,7 +16,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .jobs import TERMINAL_STATES
 
@@ -105,6 +105,70 @@ class ServiceClient:
         """``DELETE /jobs/{id}`` — cooperative cancellation."""
         return self._request("DELETE", f"/jobs/{job_id}")
 
+    def push_chunk(
+        self,
+        job_id: str,
+        samples: Sequence[int],
+        final: bool = False,
+    ) -> Dict[str, object]:
+        """``POST /jobs/{id}/chunks`` — feed samples to a push-mode stream."""
+        return self._request(
+            "POST",
+            f"/jobs/{job_id}/chunks",
+            payload={"samples": [int(s) for s in samples], "final": final},
+        )
+
+    def events_stream(
+        self,
+        job_id: str,
+        after: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """``GET /jobs/{id}/events`` as Server-Sent Events.
+
+        Yields one event dict per SSE frame until the server's ``end`` frame
+        (the job reached a terminal state) or the connection closes.  The
+        final ``end`` payload (``{"state": ..., "next": ...}``) is yielded
+        too, tagged with ``"type": "end"``.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request(
+                "GET",
+                f"/jobs/{job_id}/events?after={int(after)}",
+                headers={"Accept": "text/event-stream"},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                document = json.loads(raw) if raw else {}
+                raise ServiceError(response.status, document)
+            event_name = None
+            data_lines: List[str] = []
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    break
+                line = line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event_name = line.partition(":")[2].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line.partition(":")[2].strip())
+                elif line == "":
+                    if data_lines:
+                        payload = json.loads("\n".join(data_lines))
+                        if event_name == "end":
+                            payload["type"] = "end"
+                            yield payload
+                            return
+                        yield payload
+                    event_name = None
+                    data_lines = []
+        finally:
+            connection.close()
+
     # ---------------------------------------------------------- convenience
     def submit_evaluate(
         self,
@@ -149,6 +213,35 @@ class ServiceClient:
             payload["records"] = list(records)
         if duration_s is not None:
             payload["duration_s"] = duration_s
+        return self.submit(payload)
+
+    def submit_stream(
+        self,
+        record: Optional[str] = None,
+        design: Optional[Dict[str, object]] = None,
+        source: str = "replay",
+        chunk_samples: int = 50,
+        realtime_factor: float = 0.0,
+        duration_s: Optional[float] = None,
+        idle_timeout_s: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, object]:
+        """Submit a ``stream`` job (server replay or client push)."""
+        payload: Dict[str, object] = {
+            "kind": "stream",
+            "source": source,
+            "chunk_samples": chunk_samples,
+            "realtime_factor": realtime_factor,
+            "priority": priority,
+        }
+        if record is not None:
+            payload["records"] = [record]
+        if design is not None:
+            payload["design"] = design
+        if duration_s is not None:
+            payload["duration_s"] = duration_s
+        if idle_timeout_s is not None:
+            payload["idle_timeout_s"] = idle_timeout_s
         return self.submit(payload)
 
     def wait(

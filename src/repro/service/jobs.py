@@ -30,10 +30,15 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import queue
 import threading
 import time
+import uuid
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.configurations import DesignPoint, paper_configuration
 from ..core.design_space import preprocessing_design_space
@@ -57,15 +62,22 @@ __all__ = [
     "BadRequest",
     "ServiceBusy",
     "JobCancelled",
+    "EventLog",
     "JobRequest",
     "Job",
     "execute_evaluate",
     "execute_explore",
     "execute_resilience",
+    "execute_stream",
 ]
 
-#: Work kinds the service accepts (the three CLI workloads).
-JOB_KINDS = ("evaluate", "explore", "resilience")
+#: Work kinds the service accepts (the three batch CLI workloads plus the
+#: long-lived streaming sessions of :mod:`repro.streaming`).
+JOB_KINDS = ("evaluate", "explore", "resilience", "stream")
+
+#: Sources a stream job can consume: server-side replay of a synthesized
+#: record, or chunks pushed by the client over ``POST /jobs/{id}/chunks``.
+STREAM_SOURCES = ("replay", "push")
 
 SUBMITTED = "submitted"
 RUNNING = "running"
@@ -161,6 +173,14 @@ class JobRequest:
     lsb_step: int = 2
     # resilience
     stages: Tuple[str, ...] = ()
+    # stream
+    source: str = "replay"
+    chunk_samples: int = 50
+    realtime_factor: float = 0.0
+    idle_timeout_s: float = 30.0
+    #: Uniqueness nonce: every stream session is its own live resource, so
+    #: stream jobs never coalesce and are never served from cache.
+    nonce: str = ""
 
     @classmethod
     def from_payload(
@@ -235,7 +255,7 @@ class JobRequest:
                 lsb_step=lsb_step,
                 max_designs=max_designs,
             )
-        else:  # resilience
+        elif kind == "resilience":
             stages = payload.get("stages")
             _require(
                 isinstance(stages, (list, tuple)) and stages,
@@ -248,6 +268,38 @@ class JobRequest:
                 except KeyError as error:
                     raise BadRequest(str(error.args[0]))
             fields["stages"] = tuple(canonical)
+        else:  # stream
+            source = payload.get("source", "replay")
+            _require(
+                source in STREAM_SOURCES,
+                f"source must be one of {list(STREAM_SOURCES)}, got {source!r}",
+            )
+            design = payload.get("design")
+            if design is not None:
+                fields["designs"] = (_parse_design(design, 0),)
+            try:
+                chunk_samples = int(payload.get("chunk_samples", 50))
+                realtime_factor = float(payload.get("realtime_factor", 0.0))
+                idle_timeout_s = float(payload.get("idle_timeout_s", 30.0))
+            except (TypeError, ValueError):
+                raise BadRequest(
+                    "chunk_samples must be an integer, "
+                    "realtime_factor/idle_timeout_s numbers"
+                )
+            _require(chunk_samples >= 1, "chunk_samples must be >= 1")
+            _require(realtime_factor >= 0, "realtime_factor must be >= 0")
+            _require(idle_timeout_s > 0, "idle_timeout_s must be > 0")
+            _require(
+                len(fields["records"]) == 1,  # type: ignore[arg-type]
+                "stream jobs take exactly one record",
+            )
+            fields.update(
+                source=source,
+                chunk_samples=chunk_samples,
+                realtime_factor=realtime_factor,
+                idle_timeout_s=idle_timeout_s,
+                nonce=uuid.uuid4().hex,
+            )
         return cls(**fields)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------ keys
@@ -279,8 +331,16 @@ class JobRequest:
                 "max_designs": self.max_designs,
                 "lsb_step": self.lsb_step,
             }
-        else:
+        elif self.kind == "resilience":
             payload["stages"] = list(self.stages)
+        else:  # stream: the nonce makes every session unique (no coalescing)
+            payload["stream"] = {
+                "designs": [design_point_key(d) for d in self.designs],
+                "source": self.source,
+                "chunk_samples": self.chunk_samples,
+                "realtime_factor": self.realtime_factor,
+                "nonce": self.nonce,
+            }
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -311,6 +371,10 @@ class JobRequest:
                 progress=progress,
                 cancelled=cancelled,
             )
+        if self.kind == "stream":
+            # Streams never touch the exploration runtime; chunk intake for
+            # push sessions is supplied by the scheduler.
+            return execute_stream(self, progress=progress, cancelled=cancelled)
         return execute_resilience(
             runtime, list(self.stages), progress=progress, cancelled=cancelled
         )
@@ -335,8 +399,23 @@ class JobRequest:
                 max_designs=self.max_designs,
                 lsb_step=self.lsb_step,
             )
-        else:
+        elif self.kind == "resilience":
             doc["stages"] = list(self.stages)
+        else:  # stream
+            doc.update(
+                source=self.source,
+                chunk_samples=self.chunk_samples,
+                realtime_factor=self.realtime_factor,
+                idle_timeout_s=self.idle_timeout_s,
+                design=(
+                    {
+                        "name": self.designs[0].name,
+                        "lsbs": self.designs[0].lsbs_map(),
+                    }
+                    if self.designs
+                    else None
+                ),
+            )
         return doc
 
 
@@ -456,7 +535,147 @@ def execute_resilience(
     return {"kind": "resilience", "stages": profiles}
 
 
+def execute_stream(
+    request: "JobRequest",
+    chunks: Optional[Iterable[np.ndarray]] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    cancelled: Optional[Callable[[], bool]] = None,
+) -> Dict[str, object]:
+    """Run one streaming session; the canonical ``stream`` result JSON.
+
+    With ``chunks=None`` (replay sessions and the CLI) the record named by
+    the request is synthesized and self-replayed at the requested real-time
+    factor; push sessions pass the scheduler's chunk-queue iterator instead.
+    One ``{"type": "chunk", ...}`` progress event is emitted per chunk — the
+    live beat/quality/energy telemetry of :class:`~repro.streaming.session.
+    StreamSession` — so beats stream out while the signal is still arriving.
+    """
+    from ..dsp.stages import total_group_delay_samples
+    from ..metrics.peaks import match_peaks
+    from ..signals.records import load_record
+    from ..streaming.replay import ReplaySource
+    from ..streaming.session import StreamSession
+
+    design = request.designs[0] if request.designs else DesignPoint.accurate()
+    record = None
+    true_peaks = None
+    sample_rate_hz = 200
+    if request.source == "replay":
+        record = load_record(request.records[0], duration_s=request.duration_s)
+        true_peaks = record.r_peak_indices
+        sample_rate_hz = record.sample_rate_hz
+    session = StreamSession(
+        design=design, sample_rate_hz=sample_rate_hz, true_peaks=true_peaks
+    )
+    if chunks is None:
+        _require(
+            request.source == "replay",
+            "push streams need a chunk feed (scheduler-only)",
+        )
+        chunks = ReplaySource(
+            record,
+            chunk_samples=request.chunk_samples,
+            realtime_factor=request.realtime_factor,
+        ).chunks()
+
+    for chunk in chunks:
+        _check_cancelled(cancelled)
+        report = session.push(np.asarray(chunk, dtype=np.int64))
+        if progress is not None:
+            event: Dict[str, object] = {"type": "chunk"}
+            event.update(report.to_document())
+            progress(event)
+    _check_cancelled(cancelled)
+    if session.chunk_count == 0:
+        raise BadRequest("stream session received no samples")
+    result = session.finalize()
+
+    beats = [int(index) for index in result.detection.peak_indices]
+    quality: Optional[Dict[str, float]] = None
+    if true_peaks is not None and len(true_peaks):
+        match = match_peaks(
+            true_peaks,
+            beats,
+            expected_delay_samples=total_group_delay_samples(),
+        )
+        quality = {
+            "sensitivity": match.sensitivity,
+            "positive_predictivity": match.positive_predictivity,
+            "f1_score": match.f1_score,
+        }
+    processing_ms = [report.processing_ms for report in session.reports]
+    total_samples = session.reports[-1].total_samples
+    return {
+        "kind": "stream",
+        "source": request.source,
+        "record": request.records[0] if request.source == "replay" else None,
+        "design": {"name": design.name, "lsbs": design.lsbs_map()},
+        "samples": total_samples,
+        "chunks": session.chunk_count,
+        "beats": beats,
+        "beat_count": len(beats),
+        "heart_rate_bpm": result.heart_rate_bpm(),
+        "quality": quality,
+        "energy": session.reports[-1].energy,
+        "latency": {
+            "mean_chunk_ms": float(np.mean(processing_ms)),
+            "max_chunk_ms": float(np.max(processing_ms)),
+        },
+    }
+
+
 # --------------------------------------------------------------------- jobs
+class EventLog:
+    """Bounded per-job event backlog (ring buffer with stable sequence ids).
+
+    Long-lived stream jobs emit one event per chunk; an unbounded list would
+    grow for the lifetime of the session.  The log keeps the newest
+    ``capacity`` events, assigns every event a monotonically increasing
+    ``seq``, and counts what it had to drop — consumers that fell behind a
+    drop simply resume at the oldest retained event (``seq`` makes the gap
+    visible), and ``/stats`` surfaces the total drop count.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: "deque[Dict[str, object]]" = deque()
+        #: Total events ever appended; the next event's ``seq``.
+        self.total = 0
+        #: Events discarded to honour the capacity bound.
+        self.dropped = 0
+
+    def append(self, event: Dict[str, object]) -> None:
+        """Stamp ``event["seq"]`` and retain it (evicting the oldest)."""
+        event["seq"] = self.total
+        self.total += 1
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+
+    def since(self, after: int) -> List[Dict[str, object]]:
+        """Retained events with ``seq >= after``, oldest first."""
+        if not self._events:
+            return []
+        first = int(self._events[0]["seq"])  # type: ignore[arg-type]
+        if after <= first:
+            return list(self._events)
+        offset = after - first
+        if offset >= len(self._events):
+            return []
+        return list(self._events)[offset:]
+
+    def __iter__(self) -> "Iterator[Dict[str, object]]":
+        """Iterate the retained events, oldest first."""
+        return iter(list(self._events))
+
+    def __len__(self) -> int:
+        """Number of retained (not total) events."""
+        return len(self._events)
+
+
 @dataclass
 class Job:
     """One submitted job and its full lifecycle state.
@@ -478,7 +697,7 @@ class Job:
     finished_at: Optional[float] = None
     result: Optional[Dict[str, object]] = None
     error: Optional[str] = None
-    events: List[Dict[str, object]] = field(default_factory=list)
+    events: EventLog = field(default_factory=EventLog)
     #: Additional submissions answered by this job (in-flight coalescing).
     coalesced: int = 0
     #: True when the job was answered from a completed job's result.
@@ -487,6 +706,12 @@ class Job:
         default_factory=threading.Event, repr=False
     )
     changed: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    #: Inbound sample chunks of a push-mode stream job (``None`` sentinel =
+    #: end of stream).  Thread-safe: the HTTP layer produces on the loop
+    #: thread, the execution thread consumes.
+    chunk_queue: "queue.Queue[Optional[np.ndarray]]" = field(
+        default_factory=queue.Queue, repr=False
+    )
 
     @property
     def done(self) -> bool:
@@ -495,9 +720,7 @@ class Job:
 
     def append_event(self, event: Dict[str, object]) -> None:
         """Record one event and wake any long-poll waiters (loop thread only)."""
-        event = dict(event)
-        event["seq"] = len(self.events)
-        self.events.append(event)
+        self.events.append(dict(event))
         self.changed.set()
 
     def describe(self, include_result: bool = True) -> Dict[str, object]:
@@ -510,7 +733,8 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
-            "events": len(self.events),
+            "events": self.events.total,
+            "events_dropped": self.events.dropped,
             "coalesced": self.coalesced,
             "from_cache": self.from_cache,
             "error": self.error,

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import queue
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..runtime.cache import MemoryResultCache, ResultCache
 from ..runtime.chunking import ChunkPolicy
@@ -40,10 +43,12 @@ from .jobs import (
     SUBMITTED,
     SUCCEEDED,
     BadRequest,
+    EventLog,
     Job,
     JobCancelled,
     JobRequest,
     ServiceBusy,
+    execute_stream,
 )
 
 __all__ = ["RuntimeProvider", "JobScheduler"]
@@ -147,31 +152,44 @@ class JobScheduler:
         provider: Optional[RuntimeProvider] = None,
         max_concurrency: int = 2,
         max_jobs: int = 4096,
+        event_backlog: int = 1024,
+        job_ttl_s: Optional[float] = 3600.0,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if event_backlog < 1:
+            raise ValueError(f"event_backlog must be >= 1, got {event_backlog}")
+        if job_ttl_s is not None and job_ttl_s <= 0:
+            raise ValueError(f"job_ttl_s must be positive, got {job_ttl_s}")
         self.provider = provider if provider is not None else RuntimeProvider()
         self.max_concurrency = max_concurrency
         self.max_jobs = max_jobs
+        self.event_backlog = event_backlog
+        self.job_ttl_s = job_ttl_s
         self._queue: "asyncio.PriorityQueue[Tuple[int, int, Job]]" = (
             asyncio.PriorityQueue()
         )
         self._jobs: "Dict[str, Job]" = {}
         self._by_key: Dict[str, Job] = {}
         self._workers: List[asyncio.Task] = []
+        self._gc_task: Optional[asyncio.Task] = None
         self._arrival = itertools.count()
         self._job_ids = itertools.count(1)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Events dropped by jobs already expired from the table (the live
+        #: jobs' drop counts are summed on demand in :meth:`stats`).
+        self._expired_events_dropped = 0
         self.counters = {
             "submitted": 0,
             "coalesced": 0,
             "served_from_cache": 0,
             "executed": 0,
+            "expired": 0,
         }
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
-        """Spawn the worker tasks (idempotent)."""
+        """Spawn the worker tasks and the job GC (idempotent)."""
         self._loop = asyncio.get_running_loop()
         while len(self._workers) < self.max_concurrency:
             self._workers.append(
@@ -179,17 +197,25 @@ class JobScheduler:
                     self._worker(), name=f"repro-job-worker-{len(self._workers)}"
                 )
             )
+        if self._gc_task is None and self.job_ttl_s is not None:
+            self._gc_task = asyncio.create_task(
+                self._gc_loop(), name="repro-job-gc"
+            )
 
     async def shutdown(self) -> None:
         """Cancel the workers and tear down the runtimes."""
-        for worker in self._workers:
-            worker.cancel()
-        for worker in self._workers:
+        tasks = list(self._workers)
+        if self._gc_task is not None:
+            tasks.append(self._gc_task)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
             try:
-                await worker
+                await task
             except asyncio.CancelledError:
                 pass
         self._workers.clear()
+        self._gc_task = None
         await asyncio.get_running_loop().run_in_executor(
             None, self.provider.shutdown
         )
@@ -231,6 +257,7 @@ class JobScheduler:
                     state=SUCCEEDED,
                     result=existing.result,
                     from_cache=True,
+                    events=EventLog(self.event_backlog),
                 )
                 job.started_at = job.finished_at = job.submitted_at
                 job.append_event({"type": "state", "state": SUCCEEDED})
@@ -240,7 +267,12 @@ class JobScheduler:
             # Failed, cancelled or being cancelled: execute afresh.
         self._require_capacity()
         self.counters["submitted"] += 1
-        job = Job(id=self._new_job_id(), request=request, key=key)
+        job = Job(
+            id=self._new_job_id(),
+            request=request,
+            key=key,
+            events=EventLog(self.event_backlog),
+        )
         job.append_event({"type": "state", "state": SUBMITTED})
         self._jobs[job.id] = job
         self._by_key[key] = job
@@ -249,9 +281,41 @@ class JobScheduler:
 
     def _require_capacity(self) -> None:
         if len(self._jobs) >= self.max_jobs:
+            # Reclaim expired finished jobs before refusing: a long-running
+            # server fills its table with history, not live work.
+            self._expire_jobs()
+        if len(self._jobs) >= self.max_jobs:
             raise ServiceBusy(
                 f"job table is full ({self.max_jobs} jobs); try again later"
             )
+
+    def _expire_jobs(self) -> int:
+        """Drop terminal jobs older than the TTL (loop thread only)."""
+        if self.job_ttl_s is None:
+            return 0
+        now = time.time()
+        expired = [
+            job
+            for job in self._jobs.values()
+            if job.done
+            and job.finished_at is not None
+            and now - job.finished_at > self.job_ttl_s
+        ]
+        for job in expired:
+            del self._jobs[job.id]
+            if self._by_key.get(job.key) is job:
+                del self._by_key[job.key]
+            self._expired_events_dropped += job.events.dropped
+        self.counters["expired"] += len(expired)
+        return len(expired)
+
+    async def _gc_loop(self) -> None:
+        """Periodically expire finished jobs past their TTL."""
+        assert self.job_ttl_s is not None
+        interval = max(0.5, min(self.job_ttl_s / 4.0, 30.0))
+        while True:
+            await asyncio.sleep(interval)
+            self._expire_jobs()
 
     def _new_job_id(self) -> str:
         return f"job-{next(self._job_ids):06d}"
@@ -290,29 +354,72 @@ class JobScheduler:
         job = self.get(job_id)
         loop = asyncio.get_running_loop()
         deadline = loop.time() + max(0.0, timeout)
-        while len(job.events) <= after and not job.done:
+        while job.events.total <= after and not job.done:
             remaining = deadline - loop.time()
             if remaining <= 0:
                 break
             job.changed.clear()
-            if len(job.events) > after or job.done:
+            if job.events.total > after or job.done:
                 break
             try:
                 await asyncio.wait_for(job.changed.wait(), remaining)
             except asyncio.TimeoutError:
                 break
-        return job.events[after:]
+        return job.events.since(after)
+
+    def push_chunk(
+        self, job_id: str, samples: object, final: bool = False
+    ) -> Dict[str, object]:
+        """Feed samples to a push-mode stream job (``POST /jobs/{id}/chunks``).
+
+        ``samples`` may be empty when ``final`` just closes the stream.
+        Raises :exc:`BadRequest` for non-stream/non-push jobs or malformed
+        samples and :exc:`KeyError` for unknown jobs.
+        """
+        job = self.get(job_id)
+        if job.request.kind != "stream":
+            raise BadRequest(f"job {job_id} is not a stream job")
+        if job.request.source != "push":
+            raise BadRequest(f"stream job {job_id} replays server-side")
+        if job.done:
+            raise BadRequest(f"stream job {job_id} already finished")
+        if samples is None:
+            samples = []
+        if not isinstance(samples, (list, tuple)):
+            raise BadRequest("samples must be a list of integers")
+        try:
+            chunk = np.asarray(samples, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            raise BadRequest("samples must be a list of integers")
+        if chunk.ndim != 1:
+            raise BadRequest("samples must be a flat list of integers")
+        if chunk.size:
+            job.chunk_queue.put(chunk)
+        if final:
+            job.chunk_queue.put(None)
+        return {
+            "id": job.id,
+            "state": job.state,
+            "received": int(chunk.size),
+            "final": bool(final),
+        }
 
     def stats(self) -> Dict[str, object]:
         """The ``/stats`` document: job counters plus runtime/cache telemetry."""
+        self._expire_jobs()
         states: Dict[str, int] = {}
+        events_dropped = self._expired_events_dropped
         for job in self._jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
+            events_dropped += job.events.dropped
         return {
             "jobs": {
                 "total": len(self._jobs),
                 "queued": self._queue.qsize(),
                 "states": states,
+                "events_dropped": events_dropped,
+                "event_backlog": self.event_backlog,
+                "job_ttl_s": self.job_ttl_s,
                 **self.counters,
             },
             "runtime": self.provider.statistics(),
@@ -351,14 +458,52 @@ class JobScheduler:
         """Run one job in a worker thread of the loop's default executor."""
         loop = self._loop
         assert loop is not None, "scheduler was not started"
-        runtime = self.provider.runtime_for(job.request)
 
         def progress(event: Dict[str, object]) -> None:
             loop.call_soon_threadsafe(job.append_event, event)
 
+        if job.request.kind == "stream":
+            # Streams never touch the exploration runtime: replay sessions
+            # synthesize their own record, push sessions drain the job's
+            # chunk queue until the client finalises (or goes idle).
+            chunks = (
+                self._push_chunks(job) if job.request.source == "push" else None
+            )
+            return execute_stream(
+                job.request,
+                chunks=chunks,
+                progress=progress,
+                cancelled=job.cancel_requested.is_set,
+            )
+        runtime = self.provider.runtime_for(job.request)
         return job.request.execute(
             runtime, progress=progress, cancelled=job.cancel_requested.is_set
         )
+
+    @staticmethod
+    def _push_chunks(job: Job) -> Iterator[np.ndarray]:
+        """Yield a push-mode stream job's chunks (runs in its worker thread).
+
+        Ends on the explicit ``final`` marker (``None`` sentinel) or after
+        ``idle_timeout_s`` without input — an abandoned session finalises
+        with what it received instead of occupying a worker forever.
+        Cancellation is honoured between chunks.
+        """
+        idle_timeout_s = job.request.idle_timeout_s
+        deadline = time.monotonic() + idle_timeout_s
+        while True:
+            if job.cancel_requested.is_set():
+                raise JobCancelled()
+            try:
+                item = job.chunk_queue.get(timeout=min(0.25, idle_timeout_s))
+            except queue.Empty:
+                if time.monotonic() >= deadline:
+                    return
+                continue
+            if item is None:
+                return
+            deadline = time.monotonic() + idle_timeout_s
+            yield item
 
     def _transition(self, job: Job, state: str) -> None:
         """Advance a job's state and wake waiters (loop thread only)."""

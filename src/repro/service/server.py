@@ -6,16 +6,21 @@ API:
 
 ====================  ======================================================
 ``POST /jobs``        submit a job (``evaluate`` / ``explore`` /
-                      ``resilience``); 202 on fresh submission, 200 when the
-                      request coalesced onto an in-flight job or was served
-                      from a completed one
+                      ``resilience`` / ``stream``); 202 on fresh submission,
+                      200 when the request coalesced onto an in-flight job or
+                      was served from a completed one
 ``GET /jobs``         list job status documents (no results)
 ``GET /jobs/{id}``    one job's status + result
-``GET /jobs/{id}/events``  long-poll progress events (``?after=N&timeout=S``)
+``GET /jobs/{id}/events``  long-poll progress events (``?after=N&timeout=S``);
+                      with ``Accept: text/event-stream`` the same events are
+                      served as Server-Sent Events until the job finishes
+``POST /jobs/{id}/chunks`` append samples to a push-mode stream job
+                      (``{"samples": [...], "final": bool}``)
 ``DELETE /jobs/{id}`` cooperative cancellation
 ``GET /healthz``      liveness + library version
-``GET /stats``        job counters, cache hit/eviction rates (entry + byte
-                      budgets), stage-graph hit rates, per-workload telemetry
+``GET /stats``        job counters (incl. dropped events + expired jobs),
+                      cache hit/eviction rates (entry + byte budgets),
+                      stage-graph hit rates, per-workload telemetry
 ====================  ======================================================
 
 Errors are JSON too: 400 for malformed payloads (:exc:`BadRequest`), 404 for
@@ -61,6 +66,7 @@ _REASONS = {
 
 _JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)$")
 _EVENTS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/events$")
+_CHUNKS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/chunks$")
 
 
 class _HttpError(Exception):
@@ -119,10 +125,20 @@ class ServiceServer:
     ) -> None:
         try:
             try:
-                method, path, query, body = await self._read_request(reader)
+                method, path, query, body, headers = await self._read_request(
+                    reader
+                )
             except _HttpError as error:
                 status, payload = error.status, {"error": str(error)}
             else:
+                sse_match = _EVENTS_PATH.match(path)
+                if (
+                    sse_match
+                    and method == "GET"
+                    and "text/event-stream" in headers.get("accept", "")
+                ):
+                    await self._serve_sse(writer, sse_match.group(1), query)
+                    return
                 status, payload = await self._dispatch(method, path, query, body)
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
@@ -145,10 +161,79 @@ class ServiceServer:
         except ConnectionError:  # pragma: no cover - client went away
             pass
 
+    async def _serve_sse(
+        self,
+        writer: asyncio.StreamWriter,
+        job_id: str,
+        query: Dict[str, str],
+    ) -> None:
+        """Stream a job's events as Server-Sent Events until it finishes.
+
+        Frames carry the event ``seq`` as the SSE ``id`` and the event JSON
+        as ``data``; a final ``event: end`` frame announces the terminal
+        state so clients know the stream is complete (rather than broken).
+        """
+        scheduler = self.scheduler
+        after = self._int_param(query, "after", 0)
+        try:
+            scheduler.get(job_id)
+        except KeyError:
+            data = json.dumps({"error": "no such job"}).encode("utf-8")
+            head = (
+                "HTTP/1.1 404 Not Found\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            try:
+                writer.write(head.encode("ascii") + data)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii"))
+            await writer.drain()
+            while True:
+                events = await scheduler.wait_for_events(
+                    job_id, after=after, timeout=10.0
+                )
+                job = scheduler.get(job_id)
+                for event in events:
+                    frame = (
+                        f"id: {event['seq']}\n"
+                        f"data: {json.dumps(event, sort_keys=True)}\n\n"
+                    )
+                    writer.write(frame.encode("utf-8"))
+                    after = int(event["seq"]) + 1  # type: ignore[arg-type]
+                await writer.drain()
+                if job.done and job.events.total <= after:
+                    end = json.dumps({"state": job.state, "next": after})
+                    writer.write(f"event: end\ndata: {end}\n\n".encode("utf-8"))
+                    await writer.drain()
+                    break
+        except (ConnectionError, KeyError):
+            pass  # client went away, or the job expired mid-stream
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Tuple[str, str, Dict[str, str], Optional[object]]:
+    ) -> Tuple[str, str, Dict[str, str], Optional[object], Dict[str, str]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -181,7 +266,7 @@ class ServiceServer:
             key: values[-1]
             for key, values in parse_qs(split.query, keep_blank_values=True).items()
         }
-        return method.upper(), split.path, query, body
+        return method.upper(), split.path, query, body, headers
 
     # -------------------------------------------------------------- routing
     async def _dispatch(
@@ -240,12 +325,29 @@ class ServiceServer:
                     job_id, after=after, timeout=min(timeout, 60.0)
                 )
                 job = scheduler.get(job_id)
+                # "next" comes from the last event's seq, not after+len:
+                # the ring buffer may have dropped events between the two.
+                next_seq = (
+                    int(events[-1]["seq"]) + 1 if events else after
+                )
                 return 200, {
                     "id": job.id,
                     "state": job.state,
                     "events": events,
-                    "next": after + len(events),
+                    "next": next_seq,
+                    "dropped": job.events.dropped,
                 }
+            match = _CHUNKS_PATH.match(path)
+            if match:
+                self._require_method(method, "POST")
+                if not isinstance(body, dict):
+                    raise BadRequest("request body must be a JSON object")
+                ack = scheduler.push_chunk(
+                    match.group(1),
+                    body.get("samples"),
+                    final=bool(body.get("final", False)),
+                )
+                return 200, ack
             return 404, {"error": f"no such endpoint: {path}"}
         except BadRequest as error:
             return 400, {"error": str(error)}
@@ -299,9 +401,14 @@ class ServiceThread:
         host: str = "127.0.0.1",
         port: int = 0,
         max_concurrency: int = 2,
+        event_backlog: int = 1024,
+        job_ttl_s: Optional[float] = 3600.0,
     ) -> None:
         self.scheduler = scheduler or JobScheduler(
-            provider, max_concurrency=max_concurrency
+            provider,
+            max_concurrency=max_concurrency,
+            event_backlog=event_backlog,
+            job_ttl_s=job_ttl_s,
         )
         self.server = ServiceServer(self.scheduler, host=host, port=port)
         self._thread: Optional[threading.Thread] = None

@@ -1,0 +1,60 @@
+"""Amortised-growth sample buffers for the streaming pipeline.
+
+Streaming sessions accumulate every stage's output for the lifetime of the
+stream (the decision stage looks arbitrarily far back during search-back, and
+the finalised result must expose the full per-stage signals bit-identically
+to an offline run).  Appending chunks to a NumPy array with ``concatenate``
+is quadratic over a long stream; :class:`GrowableArray` gives amortised O(1)
+appends with capacity doubling, like a ``list`` but contiguous and typed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GrowableArray"]
+
+
+class GrowableArray:
+    """A contiguous, append-only 1-D array with amortised O(1) appends."""
+
+    def __init__(self, dtype=np.int64, initial_capacity: int = 1024) -> None:
+        self.dtype = np.dtype(dtype)
+        self._data = np.zeros(max(1, int(initial_capacity)), dtype=self.dtype)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        """Number of samples appended so far."""
+        return self._size
+
+    def append(self, chunk: np.ndarray) -> None:
+        """Append a 1-D chunk (copied into the buffer)."""
+        chunk = np.asarray(chunk, dtype=self.dtype)
+        if chunk.ndim != 1:
+            raise ValueError("expected a one-dimensional chunk")
+        if chunk.size == 0:
+            return
+        needed = self._size + chunk.size
+        if needed > self._data.size:
+            capacity = self._data.size
+            while capacity < needed:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=self.dtype)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = chunk
+        self._size = needed
+
+    def view(self) -> np.ndarray:
+        """A read-only view of the samples appended so far (no copy)."""
+        view = self._data[: self._size]
+        view.flags.writeable = False
+        return view
+
+    def array(self) -> np.ndarray:
+        """An independent copy of the samples appended so far."""
+        return self._data[: self._size].copy()

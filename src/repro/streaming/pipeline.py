@@ -1,0 +1,152 @@
+"""Online Pan-Tompkins: the full pipeline fed one chunk at a time.
+
+:class:`StreamingPipeline` composes one :class:`~repro.streaming.stages.
+StageStreamer` per stage of an offline :class:`~repro.dsp.pan_tompkins.
+PanTompkinsPipeline` plan with the incremental decision stage
+(:class:`~repro.streaming.detector.IncrementalPeakDetector`).  Feeding a
+record in arbitrary chunks — including single samples and splits inside
+filter group delays — produces, after :meth:`StreamingPipeline.finalize`, a
+:class:`~repro.dsp.pan_tompkins.PanTompkinsResult` bit-identical to
+``PanTompkinsPipeline.process()`` on the concatenated signal, for the
+accurate and every approximate backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dsp.pan_tompkins import BackendSpec, PanTompkinsPipeline, PanTompkinsResult
+from ..dsp.detection import PeakDetectionConfig, PeakDetectionResult
+from .buffers import GrowableArray
+from .detector import DetectorUpdate, IncrementalPeakDetector
+from .stages import StageStreamer
+
+__all__ = ["StreamingUpdate", "StreamingPipeline"]
+
+#: Stage whose output feeds the fiducial alignment check of the decision
+#: stage (the offline pipeline passes ``result.preprocessed``).
+_FILTERED_STAGE = "high_pass"
+_MWI_STAGE = "moving_window_integral"
+
+
+@dataclass
+class StreamingUpdate:
+    """Everything one pushed chunk produced.
+
+    ``stage_chunks`` maps stage name to the output samples emitted for this
+    chunk (each exactly the corresponding slice of the offline stage output).
+    """
+
+    chunk_samples: int = 0
+    total_samples: int = 0
+    stage_chunks: Dict[str, np.ndarray] = field(default_factory=dict)
+    detector: DetectorUpdate = field(default_factory=DetectorUpdate)
+
+    @property
+    def beats_added(self) -> List[int]:
+        """Beats newly confirmed by this chunk."""
+        return self.detector.beats_added
+
+    @property
+    def beats_removed(self) -> List[int]:
+        """Previously reported beats revoked by this chunk (rare; rescans)."""
+        return self.detector.beats_removed
+
+    @property
+    def beat_count(self) -> int:
+        """Total beats currently reported."""
+        return self.detector.beat_count
+
+
+class StreamingPipeline:
+    """Chunk-at-a-time counterpart of :class:`PanTompkinsPipeline`."""
+
+    def __init__(
+        self,
+        backends: BackendSpec = None,
+        detection_config: Optional[PeakDetectionConfig] = None,
+        sample_rate_hz: Optional[int] = None,
+    ) -> None:
+        offline = PanTompkinsPipeline(
+            backends=backends, detection_config=detection_config
+        )
+        if sample_rate_hz is not None:
+            offline.sample_rate_hz = sample_rate_hz
+        self._init_from(offline)
+
+    @classmethod
+    def from_pipeline(cls, pipeline: PanTompkinsPipeline) -> "StreamingPipeline":
+        """Wrap an existing offline pipeline (same plan, same config)."""
+        instance = cls.__new__(cls)
+        instance._init_from(pipeline)
+        return instance
+
+    def _init_from(self, offline: PanTompkinsPipeline) -> None:
+        self.offline = offline
+        self.sample_rate_hz = offline.sample_rate_hz
+        self.detection_config = offline.detection_config
+        self._streamers = [
+            StageStreamer(stage, backend) for stage, backend in offline.stage_plan()
+        ]
+        self._outputs: Dict[str, GrowableArray] = {
+            streamer.stage.name: GrowableArray(np.int64)
+            for streamer in self._streamers
+        }
+        self._detector = IncrementalPeakDetector(self.detection_config)
+        self.total_samples = 0
+        self.finalised = False
+
+    # ---------------------------------------------------------------- feed
+    def push(self, chunk: np.ndarray) -> StreamingUpdate:
+        """Feed one chunk of raw samples through every stage + detection."""
+        if self.finalised:
+            raise RuntimeError("pipeline was already finalised")
+        chunk = np.asarray(chunk, dtype=np.int64)
+        if chunk.ndim != 1:
+            raise ValueError("expected a one-dimensional chunk")
+        update = StreamingUpdate(chunk_samples=int(chunk.size))
+        current = chunk
+        for streamer in self._streamers:
+            current = streamer.push(current)
+            name = streamer.stage.name
+            self._outputs[name].append(current)
+            update.stage_chunks[name] = current
+        self.total_samples += int(chunk.size)
+        update.total_samples = self.total_samples
+        update.detector = self._detector.update(
+            update.stage_chunks[_MWI_STAGE], update.stage_chunks[_FILTERED_STAGE]
+        )
+        return update
+
+    # ------------------------------------------------------------ finalise
+    @property
+    def beats(self) -> List[int]:
+        """Beats reported so far (may still change until finalised)."""
+        return list(self._detector._reported)
+
+    def filtered_so_far(self) -> np.ndarray:
+        """The band-passed (high-pass stage) signal accumulated so far."""
+        return self._outputs[_FILTERED_STAGE].view()
+
+    def integrated_so_far(self) -> np.ndarray:
+        """The MWI signal accumulated so far."""
+        return self._outputs[_MWI_STAGE].view()
+
+    def finalize(self) -> PanTompkinsResult:
+        """Close the stream; the result equals the offline ``process()``."""
+        if self.total_samples == 0:
+            raise ValueError("cannot finalise an empty stream")
+        if self.finalised:
+            raise RuntimeError("pipeline was already finalised")
+        detection: PeakDetectionResult = self._detector.finalize()
+        self.finalised = True
+        return PanTompkinsResult(
+            stage_outputs={
+                name: buffer.array() for name, buffer in self._outputs.items()
+            },
+            detection=detection,
+            sample_rate_hz=self.sample_rate_hz,
+        )
