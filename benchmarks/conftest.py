@@ -8,6 +8,7 @@ captured pytest run and compared against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from typing import Iterable, Sequence
@@ -39,6 +40,20 @@ def write_report(name: str, lines: Iterable[str]) -> str:
         handle.write(text)
     print(f"\n[{name}]")
     print(text)
+    return path
+
+
+def write_json(name: str, payload: dict) -> str:
+    """Write a machine-readable report to ``benchmarks/results/BENCH_<name>.json``.
+
+    The JSON artifacts sit next to the human-readable ``.txt`` tables and are
+    what CI and regression tooling consume (stable keys, plain scalars).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -1,0 +1,97 @@
+"""Perf-regression smoke — approximate vs accurate pipeline cost.
+
+Before the compiled LUT engine, one approximate pipeline run cost ~165x an
+accurate run (per-bit vectorised cell evaluation); with the compiled engine a
+warm approximate run is a handful of table gathers and lands within a small
+constant factor of the accurate NumPy path.  This smoke pins that property:
+the warm approximate/accurate per-run ratio must stay well under 10x, so a
+regression that silently reroutes the hot path back through the per-bit
+engine (or breaks table reuse) fails CI instead of just making everything
+slow.
+
+Table compilation is a one-time per-process cost, so the benchmark warms the
+engine first and reports the compile cost separately instead of folding it
+into the ratio.
+"""
+
+import time
+
+from conftest import format_row, write_json, write_report
+
+from repro.arithmetic import registry_info
+from repro.core.configurations import PAPER_CONFIGURATIONS
+from repro.dsp.pan_tompkins import PanTompkinsPipeline
+
+#: Warm approximate/accurate ratio ceiling.  Measured ~3x on the reference
+#: container; 10x leaves headroom for slower CI hosts while still being far
+#: below the ~165x of the per-bit engine.
+MAX_WARM_RATIO = 10.0
+
+#: Representative moderately-approximated design from the Fig. 12 set.
+SMOKE_CONFIG = "B9"
+
+_REPEATS = 5
+
+
+def _best_of(pipeline, samples, repeats=_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        pipeline.process(samples)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_perf_regression_smoke(benchmark, bench_record):
+    design = PAPER_CONFIGURATIONS[SMOKE_CONFIG]
+    accurate = PanTompkinsPipeline()
+    approximate = PanTompkinsPipeline(backends=design.backends())
+
+    # One untimed approximate run compiles every LUT the design needs.
+    compile_started = time.perf_counter()
+    approximate.process(bench_record.samples)
+    compile_s = time.perf_counter() - compile_started
+
+    accurate_s = _best_of(accurate, bench_record.samples)
+    approximate_s = benchmark.pedantic(
+        _best_of, args=(approximate, bench_record.samples), rounds=1, iterations=1
+    )
+    ratio = approximate_s / accurate_s if accurate_s > 0 else float("inf")
+
+    tables = registry_info()
+    widths = (28, 14)
+    lines = [
+        f"Approximate vs accurate pipeline cost ({SMOKE_CONFIG}, "
+        f"{bench_record.samples.size} samples, best of {_REPEATS})",
+        "",
+        format_row(("metric", "value"), widths),
+        format_row(("accurate run [ms]", accurate_s * 1e3), widths),
+        format_row(("approximate run [ms]", approximate_s * 1e3), widths),
+        format_row(("approx/accurate ratio", ratio), widths),
+        format_row(("first-run (incl. compile) [ms]", compile_s * 1e3), widths),
+        format_row(("compiled tables", tables["tables"]), widths),
+        format_row(("table bytes", tables["bytes"]), widths),
+        "",
+        f"regression gate: warm ratio < {MAX_WARM_RATIO:.0f}x",
+    ]
+    write_report("perf_regression", lines)
+    write_json(
+        "perf_regression",
+        {
+            "config": SMOKE_CONFIG,
+            "samples": int(bench_record.samples.size),
+            "accurate_s": accurate_s,
+            "approximate_s": approximate_s,
+            "warm_ratio": ratio,
+            "max_warm_ratio": MAX_WARM_RATIO,
+            "first_run_incl_compile_s": compile_s,
+            "compiled_tables": tables["tables"],
+            "table_bytes": tables["bytes"],
+        },
+    )
+
+    assert ratio < MAX_WARM_RATIO, (
+        f"warm approximate/accurate ratio {ratio:.1f}x exceeds the "
+        f"{MAX_WARM_RATIO:.0f}x regression gate — the hot path is no longer "
+        "running through the compiled LUT engine"
+    )

@@ -14,7 +14,7 @@ correctness — identical results in identical order — is asserted always.
 
 import time
 
-from conftest import format_row, write_report
+from conftest import format_row, write_json, write_report
 
 from repro.core import measure_exploration, preprocessing_design_space
 from repro.runtime import ExplorationRuntime, MemoryResultCache
@@ -91,3 +91,31 @@ def test_runtime_speedup(benchmark, bench_record):
         f"measured vs modeled: {measured.summary()}",
     ]
     write_report("runtime_speedup", lines)
+
+    # Machine-readable companion: s/evaluation per executor backend plus the
+    # parallel-vs-serial factor, for CI artifacts and regression tooling.
+    def _backend_entry(runtime, elapsed):
+        evaluations = runtime.telemetry.evaluations
+        return {
+            "wall_clock_s": elapsed,
+            "evaluations": evaluations,
+            "cache_hits": runtime.telemetry.cache_hits,
+            "s_per_evaluation": elapsed / evaluations if evaluations else None,
+            "evaluations_per_s": evaluations / elapsed if elapsed > 0 else None,
+        }
+
+    write_json(
+        "runtime_speedup",
+        {
+            "grid_lsb_step": GRID_LSB_STEP,
+            "designs": len(serial_evaluations),
+            "backends": {
+                "serial": _backend_entry(serial_runtime, serial_s),
+                "thread_x4": _backend_entry(parallel_runtime, parallel_s),
+                "warm_cache": _backend_entry(warm_runtime, warm_s),
+            },
+            "parallel_vs_serial": serial_s / parallel_s if parallel_s > 0 else None,
+            "warm_vs_serial": serial_s / warm_s if warm_s > 0 else None,
+            "modeled_serial_s": measured.modeled_s,
+        },
+    )

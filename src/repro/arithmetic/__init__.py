@@ -7,6 +7,8 @@ This subpackage implements the hardware substrate of XBioSiP:
 * ripple-carry adders with ``k`` approximated LSB slices,
 * recursive 4x4 / 8x8 / 16x16 multipliers built from the elementary cells,
 * a fast vectorised NumPy engine, cross-validated against the scalar models,
+* a compiled LUT engine (slice-composed adds, 8x8 product LUTs,
+  constant-operand tables) that the word-level backends route through,
 * :class:`~repro.arithmetic.library.ArithmeticBackend`, the word-level
   interface the DSP stages run on.
 """
@@ -50,6 +52,16 @@ from .multipliers_2x2 import (
     MULTIPLIER_CELLS,
     Multiplier2x2Cell,
     multiplier_cell,
+)
+from .compiled import (
+    compiled_add,
+    compiled_multiply,
+    compiled_multiply_constant,
+    compiled_multiply_unsigned,
+    compiled_square,
+    compiled_subtract,
+    prewarm_tables,
+    registry_info,
 )
 from .rca import RippleCarryAdder
 from .recursive_multiplier import RecursiveMultiplier
@@ -98,6 +110,15 @@ __all__ = [
     "vector_subtract",
     "vector_multiply",
     "vector_multiply_unsigned",
+    # compiled LUT engine
+    "compiled_add",
+    "compiled_subtract",
+    "compiled_multiply",
+    "compiled_multiply_unsigned",
+    "compiled_multiply_constant",
+    "compiled_square",
+    "prewarm_tables",
+    "registry_info",
     # backends
     "ArithmeticBackend",
     "accurate_backend",

@@ -33,8 +33,12 @@ and recursive multipliers can be composed from any of them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 __all__ = [
     "FullAdderCell",
@@ -86,6 +90,18 @@ class FullAdderCell:
     # Derived error statistics, filled in __post_init__.
     sum_errors: int = field(default=0, compare=False)
     cout_errors: int = field(default=0, compare=False)
+    # Lazily memoized derived tables (the vectorised and compiled engines ask
+    # for them once per word-level operation; rebuilding them from the truth
+    # table dominated the profile before they were cached here).
+    _flat_tables: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    _np_tables: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    _content_key: Optional[str] = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         missing = [p for p in _INPUT_PATTERNS if p not in self.truth_table]
@@ -137,14 +153,55 @@ class FullAdderCell:
         """Return ``(sum_table, cout_table)`` indexed by ``A*4 + B*2 + Cin``.
 
         Used by the vectorised engine to evaluate the cell via table lookups.
+        Memoized: the instance is frozen, so the derived tables never change.
         """
-        sums = []
-        couts = []
-        for pattern in _INPUT_PATTERNS:
-            s, c = self.truth_table[pattern]
-            sums.append(s)
-            couts.append(c)
-        return tuple(sums), tuple(couts)
+        cached = self._flat_tables
+        if cached is None:
+            sums = []
+            couts = []
+            for pattern in _INPUT_PATTERNS:
+                s, c = self.truth_table[pattern]
+                sums.append(s)
+                couts.append(c)
+            cached = (tuple(sums), tuple(couts))
+            object.__setattr__(self, "_flat_tables", cached)
+        return cached
+
+    def numpy_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized ``(sum_table, cout_table)`` as NumPy int64 arrays.
+
+        The vectorised and compiled engines index these once per bit slice;
+        caching them avoids rebuilding two arrays for every word-level add.
+        """
+        cached = self._np_tables
+        if cached is None:
+            sums, couts = self.output_tables()
+            cached = (
+                np.asarray(sums, dtype=np.int64),
+                np.asarray(couts, dtype=np.int64),
+            )
+            object.__setattr__(self, "_np_tables", cached)
+        return cached
+
+    def content_key(self) -> str:
+        """Content hash of the cell's observable behaviour (its truth table).
+
+        Same canonical-JSON/SHA-256 idiom as :mod:`repro.core.fingerprint`:
+        two cells with identical truth tables share compiled LUTs no matter
+        how they are named or instantiated, and keys are portable across
+        processes (the compiled-table registry keys off this).
+        """
+        cached = self._content_key
+        if cached is None:
+            sums, couts = self.output_tables()
+            payload = json.dumps(
+                {"kind": "full_adder", "sum": list(sums), "cout": list(couts)},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -19,6 +19,13 @@ from typing import List, Union
 
 import numpy as np
 
+from .compiled import (
+    compiled_add,
+    compiled_multiply,
+    compiled_multiply_constant,
+    compiled_square,
+    compiled_subtract,
+)
 from .full_adders import ACCURATE_ADDER, ADDER_CELLS, FullAdderCell, adder_cell
 from .multipliers_2x2 import (
     ACCURATE_MULT,
@@ -26,7 +33,6 @@ from .multipliers_2x2 import (
     Multiplier2x2Cell,
     multiplier_cell,
 )
-from .vectorized import vector_add, vector_multiply, vector_subtract
 
 __all__ = [
     "ArithmeticBackend",
@@ -123,9 +129,11 @@ class ArithmeticBackend:
         """Return a copy of this backend with a different LSB count.
 
         Used by the stage-execution engine to translate "output LSBs" into
-        datapath LSBs (the stage output shift is added on top).
+        datapath LSBs (the stage output shift is added on top).  Constructed
+        via ``type(self)`` so subclasses (e.g. the legacy-engine test
+        harness) survive the translation.
         """
-        return ArithmeticBackend(
+        return type(self)(
             approx_lsbs=approx_lsbs,
             adder_cell=self._adder,
             multiplier_cell=self._multiplier,
@@ -135,17 +143,48 @@ class ArithmeticBackend:
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Approximate ``adder_width``-bit addition (elementwise, signed)."""
-        return vector_add(a, b, self.adder_width, self.approx_lsbs, self._adder)
+        return compiled_add(a, b, self.adder_width, self.approx_lsbs, self._adder)
 
     def subtract(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Approximate ``adder_width``-bit subtraction (elementwise, signed)."""
-        return vector_subtract(a, b, self.adder_width, self.approx_lsbs, self._adder)
+        return compiled_subtract(a, b, self.adder_width, self.approx_lsbs, self._adder)
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Approximate signed multiplication of ``multiplier_width``-bit operands."""
-        return vector_multiply(
+        return compiled_multiply(
             a,
             b,
+            self.multiplier_width,
+            self.approx_lsbs,
+            self._multiplier,
+            self._adder,
+        )
+
+    def multiply_constant(self, a: np.ndarray, constant: int) -> np.ndarray:
+        """Multiply every element of ``a`` by one fixed signed constant.
+
+        Bit-identical to ``multiply(a, full_like(a, constant))`` but served
+        from a compiled per-constant LUT (one gather) on the approximate
+        path and a broadcast scalar product on the accurate path — the FIR
+        taps multiply by fixed coefficients, so this is the filter hot path.
+        """
+        return compiled_multiply_constant(
+            a,
+            constant,
+            self.multiplier_width,
+            self.approx_lsbs,
+            self._multiplier,
+            self._adder,
+        )
+
+    def square(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise ``a * a`` (bit-identical to ``multiply(a, a)``).
+
+        The squarer is unary, so the approximate path is one gather into a
+        compiled 2^width-entry LUT.
+        """
+        return compiled_square(
+            a,
             self.multiplier_width,
             self.approx_lsbs,
             self._multiplier,

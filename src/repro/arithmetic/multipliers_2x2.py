@@ -23,8 +23,12 @@ Each block multiplies two 2-bit unsigned operands (values 0..3) and produces a
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 __all__ = [
     "Multiplier2x2Cell",
@@ -57,6 +61,16 @@ class Multiplier2x2Cell:
     description: str = ""
     error_count: int = field(default=0, compare=False)
     max_error_magnitude: int = field(default=0, compare=False)
+    # Lazily memoized derived tables (see FullAdderCell for the rationale).
+    _flat_table: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    _np_table: Optional[np.ndarray] = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    _content_key: Optional[str] = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         missing = [op for op in _OPERANDS if op not in self.product_table]
@@ -105,8 +119,40 @@ class Multiplier2x2Cell:
         ]
 
     def output_table(self) -> Tuple[int, ...]:
-        """Flat product table indexed by ``a*4 + b`` (for the vectorised engine)."""
-        return tuple(self.product_table[(a, b)] for a, b in _OPERANDS)
+        """Flat product table indexed by ``a*4 + b`` (for the vectorised engine).
+
+        Memoized: the instance is frozen, so the derived table never changes.
+        """
+        cached = self._flat_table
+        if cached is None:
+            cached = tuple(self.product_table[(a, b)] for a, b in _OPERANDS)
+            object.__setattr__(self, "_flat_table", cached)
+        return cached
+
+    def numpy_table(self) -> np.ndarray:
+        """Memoized 16-entry product table as a NumPy int64 array."""
+        cached = self._np_table
+        if cached is None:
+            cached = np.asarray(self.output_table(), dtype=np.int64)
+            object.__setattr__(self, "_np_table", cached)
+        return cached
+
+    def content_key(self) -> str:
+        """Content hash of the cell's product table (canonical JSON/SHA-256).
+
+        Used to key compiled LUTs in the process-wide registry, matching the
+        content-addressing idiom of :mod:`repro.core.fingerprint`.
+        """
+        cached = self._content_key
+        if cached is None:
+            payload = json.dumps(
+                {"kind": "mult2x2", "products": list(self.output_table())},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -36,14 +36,17 @@ __all__ = [
 
 
 def _cell_tables(cell: FullAdderCell) -> Tuple[np.ndarray, np.ndarray]:
-    """Return ``(sum_table, cout_table)`` as NumPy arrays indexed by A*4+B*2+Cin."""
-    sums, couts = cell.output_tables()
-    return np.asarray(sums, dtype=np.int64), np.asarray(couts, dtype=np.int64)
+    """Return ``(sum_table, cout_table)`` as NumPy arrays indexed by A*4+B*2+Cin.
+
+    Delegates to the cell's memoized tables: the profile showed these arrays
+    being rebuilt thousands of times per pipeline evaluation before caching.
+    """
+    return cell.numpy_tables()
 
 
 def _mult_table(cell: Multiplier2x2Cell) -> np.ndarray:
-    """Return the 16-entry product table indexed by ``a * 4 + b``."""
-    return np.asarray(cell.output_table(), dtype=np.int64)
+    """Return the memoized 16-entry product table indexed by ``a * 4 + b``."""
+    return cell.numpy_table()
 
 
 def vector_add(

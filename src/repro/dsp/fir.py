@@ -66,7 +66,11 @@ def fir_filter(
     accumulator: Optional[np.ndarray] = None
     for tap_index, coefficient in enumerate(coefficients):
         delayed = _delayed(signal, tap_index)
-        product = backend.multiply(delayed, np.full_like(delayed, coefficient))
+        # Each tap multiplies by one fixed coefficient: the constant-operand
+        # path broadcasts the scalar (accurate) or gathers from a compiled
+        # per-coefficient LUT (approximate) instead of materialising a
+        # full_like(coefficient) array per tap.
+        product = backend.multiply_constant(delayed, int(coefficient))
         if accumulator is None:
             accumulator = product
         else:
@@ -81,9 +85,14 @@ def squarer(
     output_shift: int,
     output_width: int = 16,
 ) -> np.ndarray:
-    """Point-wise squaring through the 16x16 multiplier model."""
+    """Point-wise squaring through the 16x16 multiplier model.
+
+    Squaring is unary, so the backend serves it from a compiled one-operand
+    LUT on the approximate path (bit-identical to ``multiply(signal,
+    signal)``).
+    """
     signal = _as_int64(signal)
-    squared = backend.multiply(signal, signal)
+    squared = backend.square(signal)
     return saturate(rescale(squared, output_shift), output_width)
 
 

@@ -28,6 +28,7 @@ Both effects are optional flags so that benchmarks can quantify their impact
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, List, Optional, Tuple
 
 from ..arithmetic.full_adders import adder_cell as _adder_cell
@@ -64,6 +65,7 @@ class ElementaryModule:
     coefficient_bits: Optional[Tuple[int, int]] = None
 
 
+@lru_cache(maxsize=None)
 def _cell_is_pass_through(adder_name: str) -> bool:
     """True when the approximate adder cell ignores its A and carry inputs."""
     cell = _adder_cell(adder_name)
@@ -74,6 +76,7 @@ def _cell_is_pass_through(adder_name: str) -> bool:
     return True
 
 
+@lru_cache(maxsize=None)
 def ripple_carry_adder_cost(
     width: int,
     approx_lsbs: int,
@@ -84,6 +87,10 @@ def ripple_carry_adder_cost(
 
     Area, power and energy are sums over the slices; delay is the ripple path,
     i.e. the sum of the per-slice delays.
+
+    The result is memoised: :class:`ModuleCost` is an immutable value object
+    and the cost is a pure function of its arguments, so design-space sweeps
+    pay for each distinct configuration once per process.
     """
     if width < 1:
         raise ValueError(f"width must be >= 1, got {width}")
@@ -98,12 +105,16 @@ def ripple_carry_adder_cost(
     return total
 
 
-def enumerate_multiplier_modules(width: int) -> List[ElementaryModule]:
+@lru_cache(maxsize=None)
+def enumerate_multiplier_modules(width: int) -> Tuple[ElementaryModule, ...]:
     """Enumerate every elementary module of an ``N x N`` recursive multiplier.
 
     The enumeration mirrors :class:`repro.arithmetic.recursive_multiplier.
     RecursiveMultiplier`: four sub-multipliers plus three ``2w``-bit
     accumulation adders per recursion level, bottoming out at 2x2 blocks.
+
+    The module list depends only on ``width``, so it is enumerated once per
+    process and returned as an immutable tuple.
     """
     if width < 2 or width & (width - 1):
         raise ValueError(f"width must be a power of two >= 2, got {width}")
@@ -133,7 +144,7 @@ def enumerate_multiplier_modules(width: int) -> List[ElementaryModule]:
                 )
 
     _walk(width, 0, 0)
-    return modules
+    return tuple(modules)
 
 
 def _coefficient_digit_is_zero(coefficient: int, bit_range: Tuple[int, int]) -> bool:
@@ -143,6 +154,7 @@ def _coefficient_digit_is_zero(coefficient: int, bit_range: Tuple[int, int]) -> 
     return digit == 0
 
 
+@lru_cache(maxsize=None)
 def recursive_multiplier_cost(
     width: int,
     approx_lsbs: int,
@@ -153,6 +165,10 @@ def recursive_multiplier_cost(
     coefficient_folding: bool = True,
 ) -> ModuleCost:
     """Cost of an ``N x N`` recursive multiplier with ``k`` approximated LSBs.
+
+    Memoised like :func:`ripple_carry_adder_cost`: an exploration sweep asks
+    for the same (width, lsbs, cells, coefficient) combinations over and over,
+    and each is a pure function of its arguments.
 
     Parameters
     ----------

@@ -31,6 +31,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from ..arithmetic.compiled import prewarm_tables
 from ..core.configurations import DesignPoint
 from ..core.exploration_time import ExplorationCostModel
 from ..core.quality import (
@@ -68,6 +69,11 @@ def _init_process_worker(
     store_spec: Optional[tuple] = None,
 ) -> None:
     global _WORKER_EVALUATOR
+    # Pre-warm the compiled arithmetic tables: workers build the common LUTs
+    # once up front instead of paying the (single-flight) build cost inside
+    # their first evaluation.  Thread pools share the parent's process-wide
+    # registry and need no warm-up.
+    prewarm_tables()
     signal_store = None
     if store_spec is not None:
         # Persistent signal stores cannot cross the process boundary as
