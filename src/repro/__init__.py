@@ -89,7 +89,7 @@ from .dsp import PanTompkinsPipeline, PanTompkinsResult
 from .runtime import ExplorationRuntime
 from .signals import load_record, load_records
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArithmeticBackend",

@@ -19,11 +19,19 @@ The combination is collapsed into SHA-256 hex digests, so keys are portable
 across processes, evaluator instances and (via the on-disk caches) runs.
 
 Besides the whole-evaluation keys, this module also fingerprints the *nodes*
-of the stage graph: one node is one stage run, keyed by the chain
-``root(samples) -> stage definition + backend -> upstream node``.  Because the
-upstream key is folded into each node key, two designs share a node exactly
-when their settings agree on every stage up to and including that node — the
-shared-prefix property the stage-graph executor memoizes on.
+of the stage graph: one node is one stage run, keyed **input-addressed** as
+``digest(content hash of the actual input signal, stage definition, backend,
+library version)``.  Two stage runs share a node exactly when they would
+perform the same computation on the same bits — regardless of *how* those
+input bits were produced (which design, which record, offline or streamed).
+The input content hash of a downstream stage is the content hash of its
+upstream node's *output*, so a chain of N stages costs N incremental hashes
+(each output hashed once), not N² rehashes.
+
+The key schema is versioned (:data:`STAGE_KEY_SCHEMA`): persistent signal
+stores tag themselves with the schema they were written under, so entries
+from the older prefix-chain scheme are detected and purged instead of being
+silently mixed with input-addressed nodes.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from ..signals.records import ECGRecord
 from .configurations import DesignPoint
 
 __all__ = [
+    "STAGE_KEY_SCHEMA",
     "design_point_key",
     "record_fingerprint",
     "workload_fingerprint",
@@ -48,9 +57,15 @@ __all__ = [
     "library_version",
     "stage_fingerprint",
     "backend_fingerprint",
+    "signal_content_hash",
     "signal_root_key",
     "stage_node_key",
 ]
+
+#: Version tag of the stage-node key scheme.  Persistent signal stores are
+#: stamped with this tag; a store written under a different schema (e.g. the
+#: pre-1.1 prefix-chain keys) is purged on open rather than mixed.
+STAGE_KEY_SCHEMA = "input-addressed-v1"
 
 
 def library_version() -> str:
@@ -188,43 +203,58 @@ def backend_fingerprint(backend: ArithmeticBackend) -> str:
     return _digest(payload)
 
 
-def signal_root_key(samples: np.ndarray) -> str:
-    """Root node key of the stage graph: the raw input recording.
+def signal_content_hash(signal: np.ndarray) -> str:
+    """Pure content hash of one signal (dtype/size header + sample bytes).
 
-    Hashes the sample data itself (with a dtype/size header, like
-    :func:`record_fingerprint`) plus the library version, so a pipeline
-    change invalidates every downstream node.
+    This is the currency of the input-addressed stage graph: a stage node's
+    input is identified by this hash of the upstream output, nothing else.
+    Deliberately *excludes* the library version — it is a statement about the
+    bits, not about the code; the node key folds the version in separately.
     """
-    samples = np.asarray(samples)
+    signal = np.asarray(signal)
     header = json.dumps(
-        {
-            "library": library_version(),
-            "dtype": str(samples.dtype),
-            "size": int(samples.size),
-        },
+        {"dtype": str(signal.dtype), "size": int(signal.size)},
         sort_keys=True,
         separators=(",", ":"),
     )
     hasher = hashlib.sha256()
     hasher.update(header.encode("utf-8"))
     hasher.update(b"\x00")
-    hasher.update(np.ascontiguousarray(samples).tobytes())
+    hasher.update(np.ascontiguousarray(signal).tobytes())
     return hasher.hexdigest()
 
 
-def stage_node_key(
-    parent_key: str, stage: StageDefinition, backend: ArithmeticBackend
-) -> str:
-    """Key of one stage-run node given its upstream node's key.
+def signal_root_key(samples: np.ndarray) -> str:
+    """Content hash of the raw input recording (the graph's root).
 
-    Chaining the parent key means a node key pins down the *entire* prefix of
-    the pipeline that produced the node's input — record, every upstream stage
-    definition and every upstream backend — which is exactly the condition
-    under which a memoized stage output may be reused.
+    Under input-addressed keys the root carries no special structure: it is
+    simply the content hash of the samples, i.e. the first stage's input
+    hash.  Kept as a named function because the memo API and the streaming
+    warm start both speak in terms of "the root".
+    """
+    return signal_content_hash(samples)
+
+
+def stage_node_key(
+    input_hash: str, stage: StageDefinition, backend: ArithmeticBackend
+) -> str:
+    """Input-addressed key of one stage-run node.
+
+    ``input_hash`` is the content hash (:func:`signal_content_hash`) of the
+    signal the stage actually consumes — for the first stage the raw samples,
+    for every later stage the upstream node's *output*.  Because the key
+    names the input bits rather than the settings chain that produced them,
+    two designs (or two records, or a stream and an offline run) share a node
+    whenever their computations coincide — e.g. suffix stages downstream of
+    an approximation that happened to be a bit-exact no-op.  The library
+    version and schema tag are folded in so a pipeline change or a key-scheme
+    change invalidates every node.
     """
     return _digest(
         {
-            "parent": parent_key,
+            "schema": STAGE_KEY_SCHEMA,
+            "library": library_version(),
+            "input": input_hash,
             "stage": stage_fingerprint(stage),
             "backend": backend_fingerprint(backend),
         }

@@ -1,4 +1,4 @@
-"""Stage-graph execution: memoized, content-addressed pipeline stage runs.
+"""Stage-graph execution: memoized, input-addressed pipeline stage runs.
 
 The Pan-Tompkins pipeline is a chain of five deterministic stages, and the
 paper's design space (Section 6.2) only varies the arithmetic of a few of
@@ -8,17 +8,25 @@ high-pass signals.  Rather than recomputing those signals once per design,
 the executor here treats each stage run as a node in a content-addressed
 graph:
 
-* A node's key (:func:`~repro.core.fingerprint.stage_node_key`) chains the
-  upstream node's key with the stage definition and backend fingerprints, so
-  two designs share a node exactly when they agree on the whole settings
-  prefix up to that stage.
+* A node's key (:func:`~repro.core.fingerprint.stage_node_key`) is
+  **input-addressed**: it digests the content hash of the signal the stage
+  actually consumes together with the stage definition and backend
+  fingerprints.  Two stage runs share a node exactly when they perform the
+  same computation on the same bits — across designs, across records, and
+  across offline/streaming execution.  The input hash of stage N+1 is the
+  content hash of stage N's resolved *output*, computed once per node and
+  cached on the memo, so a chain of N stages costs N incremental hashes.
 * Node outputs live in a pluggable signal store (any object with
   ``get(key) -> Optional[ndarray]`` / ``put(key, ndarray)``): the default is
   the in-process :class:`MemoryStageStore`, and :mod:`repro.runtime.
   signal_store` provides persistent JSON-directory and SQLite backends with
   the same interface.
 * Per-stage hit/compute accounting (:class:`StageGraphStats`) feeds the
-  runtime telemetry and the stage-memoization benchmark.
+  runtime telemetry and the stage-memoization benchmark.  Hits are further
+  classified by *reuse class*: ``classic`` (node computed by this memo under
+  the same root recording), ``cross_record`` (computed under a different
+  root), and ``warm`` (never computed by this memo — served from a seeded or
+  persistent store).
 
 :class:`StageGraphMemo` is the object threaded through
 :meth:`~repro.dsp.pan_tompkins.PanTompkinsPipeline.process`; the pipeline
@@ -37,7 +45,7 @@ import numpy as np
 
 from ..arithmetic.library import ArithmeticBackend
 from ..dsp.stages import StageDefinition
-from .fingerprint import signal_root_key, stage_node_key
+from .fingerprint import signal_content_hash, signal_root_key, stage_node_key
 
 __all__ = [
     "StageGraphStats",
@@ -52,19 +60,43 @@ __all__ = [
 #: design-space sweeps.
 DEFAULT_STORE_ENTRIES = 512
 
+#: Capacity of the memo's per-node bookkeeping maps (output hashes and
+#: computed-root provenance).  Entries are tiny (two hex strings), the cap
+#: only guards against unbounded growth over very long-lived memos.
+_BOOKKEEPING_ENTRIES = 4096
+
 
 # ------------------------------------------------------------- accounting
 @dataclass
 class StageGraphStats:
-    """Per-stage hit/compute counters of one stage-graph memo."""
+    """Per-stage hit/compute counters of one stage-graph memo.
+
+    Hits are additionally broken down by reuse class: ``cross_record_hits``
+    counts hits on nodes this memo computed under a *different* root
+    recording, ``warm_hits`` counts hits on nodes this memo never computed at
+    all (seeded, or found in a shared/persistent store).  Both are subsets of
+    ``hits``.
+    """
 
     computes: Dict[str, int] = field(default_factory=dict)
     hits: Dict[str, int] = field(default_factory=dict)
+    cross_record_hits: Dict[str, int] = field(default_factory=dict)
+    warm_hits: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, stage_name: str, hit: bool) -> None:
-        """Account one stage-node resolution."""
+    def record(self, stage_name: str, hit: bool, reuse: str = "classic") -> None:
+        """Account one stage-node resolution.
+
+        ``reuse`` classifies a hit as ``"classic"``, ``"cross_record"`` or
+        ``"warm"``; it is ignored for computes.
+        """
         bucket = self.hits if hit else self.computes
         bucket[stage_name] = bucket.get(stage_name, 0) + 1
+        if hit and reuse == "cross_record":
+            self.cross_record_hits[stage_name] = (
+                self.cross_record_hits.get(stage_name, 0) + 1
+            )
+        elif hit and reuse == "warm":
+            self.warm_hits[stage_name] = self.warm_hits.get(stage_name, 0) + 1
 
     def computes_for(self, stage_name: str) -> int:
         """Number of times ``stage_name`` was actually executed."""
@@ -84,6 +116,16 @@ class StageGraphStats:
         """Store hits summed over all stages."""
         return sum(self.hits.values())
 
+    @property
+    def total_cross_record_hits(self) -> int:
+        """Hits on nodes computed under a different root recording."""
+        return sum(self.cross_record_hits.values())
+
+    @property
+    def total_warm_hits(self) -> int:
+        """Hits on nodes this memo never computed (seed / persistent store)."""
+        return sum(self.warm_hits.values())
+
     def hit_rate(self, stage_name: Optional[str] = None) -> float:
         """Fraction of stage runs served from the store (0.0 when unused)."""
         if stage_name is None:
@@ -96,11 +138,18 @@ class StageGraphStats:
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """Per-stage snapshot (telemetry / CLI reporting)."""
-        stages = sorted(set(self.computes) | set(self.hits))
+        stages = sorted(
+            set(self.computes)
+            | set(self.hits)
+            | set(self.cross_record_hits)
+            | set(self.warm_hits)
+        )
         return {
             name: {
                 "computes": self.computes_for(name),
                 "hits": self.hits_for(name),
+                "cross_record_hits": self.cross_record_hits.get(name, 0),
+                "warm_hits": self.warm_hits.get(name, 0),
                 "hit_rate": self.hit_rate(name),
             }
             for name in stages
@@ -165,10 +214,12 @@ class StageGraphMemo:
     """Memoization context threaded through pipeline runs.
 
     One memo instance represents one stage graph: all pipeline runs sharing
-    the memo share its node store, so designs with a common settings prefix
-    reuse each other's upstream stage outputs — including the accurate
-    reference runs, which are just the all-accurate path through the same
-    graph.
+    the memo share its node store.  Because nodes are input-addressed, reuse
+    is *global*: designs whose computations coincide share nodes even when
+    their settings chains differ (e.g. suffix stages downstream of an
+    approximation that was a bit-exact no-op), records with identical sample
+    windows share the whole chain, and streaming runs warm-start from nodes
+    an offline sweep computed.
 
     Parameters
     ----------
@@ -196,17 +247,43 @@ class StageGraphMemo:
         self.stats = stats if stats is not None else StageGraphStats()
         self._lock = threading.Lock()
         self._stripes = [threading.Lock() for _ in range(self._N_STRIPES)]
+        # node key -> content hash of the node's output (computed at most
+        # once per node; this is what makes a chain of N stages cost N
+        # incremental hashes instead of N^2 rehashes).
+        self._hashes: "OrderedDict[str, str]" = OrderedDict()
+        # node key -> root content hash the node was *computed* under by
+        # this memo.  Absent for nodes served purely from a seeded or
+        # persistent store, which is how warm hits are recognised.
+        self._computed_roots: "OrderedDict[str, str]" = OrderedDict()
 
     # ------------------------------------------------------------- keying
     def root_key(self, samples: np.ndarray) -> str:
-        """Key of the graph's root node (the raw input samples)."""
+        """Content hash of the raw input samples (the graph's root)."""
         return signal_root_key(samples)
 
     def node_key(
-        self, parent_key: str, stage: StageDefinition, backend: ArithmeticBackend
+        self, input_hash: str, stage: StageDefinition, backend: ArithmeticBackend
     ) -> str:
-        """Key of the node running ``stage``/``backend`` on ``parent_key``."""
-        return stage_node_key(parent_key, stage, backend)
+        """Key of the node running ``stage``/``backend`` on ``input_hash``.
+
+        ``input_hash`` is the content hash of the signal the stage consumes:
+        the root key for the first stage, :meth:`output_hash` of the upstream
+        node for every later stage.
+        """
+        return stage_node_key(input_hash, stage, backend)
+
+    def output_hash(self, key: str, signal: np.ndarray) -> str:
+        """Content hash of node ``key``'s output, computed at most once."""
+        with self._lock:
+            cached = self._hashes.get(key)
+        if cached is not None:
+            return cached
+        digest = signal_content_hash(signal)
+        with self._lock:
+            self._hashes[key] = digest
+            while len(self._hashes) > _BOOKKEEPING_ENTRIES:
+                self._hashes.popitem(last=False)
+        return digest
 
     def chain_keys(
         self,
@@ -216,37 +293,80 @@ class StageGraphMemo:
     ) -> Dict[str, str]:
         """Node keys of a full pipeline chain, by stage name.
 
-        Used by tests and benchmarks to reason about node identity without
-        running anything.
+        Used by tests and benchmarks to reason about node identity.  Because
+        keys are input-addressed, walking the chain needs the actual stage
+        outputs: each is taken from the store when present and recomputed
+        otherwise.  No hit/compute statistics are recorded.
         """
         keys: Dict[str, str] = {}
-        key = self.root_key(samples)
+        current = np.asarray(samples, dtype=np.int64)
+        input_hash = self.root_key(current)
         for stage in stages:
-            key = self.node_key(key, stage, backends[stage.name])
+            backend = backends[stage.name]
+            key = self.node_key(input_hash, stage, backend)
             keys[stage.name] = key
+            output = self.store.get(key)
+            if output is None:
+                # Imported here: core -> dsp.fir at module scope would be
+                # fine today, but the late import keeps this helper the only
+                # coupling point.
+                from ..dsp.fir import run_stage
+
+                output = run_stage(current, stage, backend)
+                self.adopt(key, output)
+            current = output
+            input_hash = self.output_hash(key, current)
         return keys
 
     # ------------------------------------------------------------ traffic
-    def fetch(self, stage_name: str, key: str) -> Optional[np.ndarray]:
+    def fetch(
+        self, stage_name: str, key: str, root_hash: Optional[str] = None
+    ) -> Optional[np.ndarray]:
         """Look up one node's output, accounting a hit when present.
 
         A miss is *not* accounted here — the pipeline reports the compute via
         :meth:`put` once the stage has actually run, so the counters always
-        sum to the number of stage runs resolved.
+        sum to the number of stage runs resolved.  ``root_hash`` (the content
+        hash of the recording the current run started from) classifies the
+        hit: a node this memo never computed is a *warm* hit, one computed
+        under a different root is a *cross-record* hit.
         """
         signal = self.store.get(key)
         if signal is not None:
             with self._lock:
-                self.stats.record(stage_name, hit=True)
+                computed_root = self._computed_roots.get(key)
+                if computed_root is None:
+                    reuse = "warm"
+                elif root_hash is not None and computed_root != root_hash:
+                    reuse = "cross_record"
+                else:
+                    reuse = "classic"
+                self.stats.record(stage_name, hit=True, reuse=reuse)
         return signal
 
-    def put(self, stage_name: str, key: str, signal: np.ndarray) -> None:
+    def put(
+        self,
+        stage_name: str,
+        key: str,
+        signal: np.ndarray,
+        root_hash: Optional[str] = None,
+    ) -> None:
         """Store one freshly computed node output (accounted as a compute)."""
         with self._lock:
             self.stats.record(stage_name, hit=False)
+            if root_hash is not None:
+                self._computed_roots[key] = root_hash
+                while len(self._computed_roots) > _BOOKKEEPING_ENTRIES:
+                    self._computed_roots.popitem(last=False)
         self.store.put(key, signal)
 
-    def resolve(self, stage_name: str, key: str, compute) -> np.ndarray:
+    def resolve(
+        self,
+        stage_name: str,
+        key: str,
+        compute,
+        root_hash: Optional[str] = None,
+    ) -> np.ndarray:
         """Resolve one node: from the store, or by running ``compute()``.
 
         Single-flight semantics: when several threads miss the same node
@@ -255,19 +375,31 @@ class StageGraphMemo:
         accounted as hits) — so per-stage compute counts equal the number of
         distinct nodes regardless of executor parallelism.
         """
-        signal = self.fetch(stage_name, key)
+        signal = self.fetch(stage_name, key, root_hash)
         if signal is not None:
             return signal
         stripe = self._stripes[hash(key) % self._N_STRIPES]
         with stripe:
-            signal = self.fetch(stage_name, key)
+            signal = self.fetch(stage_name, key, root_hash)
             if signal is not None:
                 return signal
             signal = compute()
-            self.put(stage_name, key, signal)
+            self.put(stage_name, key, signal, root_hash)
         return signal
 
     # ------------------------------------------------------------ seeding
+    def adopt(self, key: str, signal: np.ndarray) -> None:
+        """Inject one precomputed node output, without any accounting.
+
+        Used by :meth:`seed`, by :meth:`chain_keys` and by the streaming
+        pipeline when it publishes finalized stage outputs: the work happened
+        elsewhere, so neither a hit nor a compute is recorded, and the node
+        is *not* marked as computed under any root — later lookups classify
+        as warm hits.
+        """
+        self.store.put(key, signal)
+        self.output_hash(key, signal)
+
     def seed(
         self,
         samples: np.ndarray,
@@ -280,17 +412,19 @@ class StageGraphMemo:
         This is the process-pool warm start: the parent ships its accurate
         reference runs to the workers, which seed their graphs instead of
         recomputing the accurate chain once per worker.  Neither hits nor
-        computes are accounted — the work happened elsewhere.
+        computes are accounted — the work happened elsewhere — and later
+        lookups of seeded nodes classify as warm hits.
 
         Returns the number of nodes written.
         """
         written = 0
-        key = self.root_key(samples)
+        input_hash = self.root_key(samples)
         for stage in stages:
-            key = self.node_key(key, stage, backends[stage.name])
+            key = self.node_key(input_hash, stage, backends[stage.name])
             output = stage_outputs.get(stage.name)
             if output is None:
                 break
-            self.store.put(key, output)
+            self.adopt(key, output)
+            input_hash = self.output_hash(key, output)
             written += 1
         return written

@@ -15,10 +15,13 @@ Execution is decomposed into *stage nodes*: :meth:`PanTompkinsPipeline.
 process` walks the stage plan one node at a time and, when given a stage
 memo (:class:`~repro.core.stage_graph.StageGraphMemo`), resolves each node
 through the memo's content-addressed store before computing it.  The memo
-protocol is deliberately tiny — ``root_key(samples)``, ``node_key(parent,
-stage, backend)`` and ``resolve(stage_name, key, compute)`` — so this module
-stays free of fingerprinting and storage concerns while designs that share a
-settings prefix share the memoized upstream signals.
+protocol is deliberately tiny — ``root_key(samples)``, ``node_key(input_hash,
+stage, backend)``, ``resolve(stage_name, key, compute, root_hash)`` and
+``output_hash(key, signal)`` — so this module stays free of fingerprinting
+and storage concerns.  Node keys are *input-addressed*: the walk threads the
+content hash of each resolved output into the next stage's key, so any two
+runs that perform the same computation on the same bits share a node,
+whatever design, record or execution mode produced those bits.
 """
 
 from __future__ import annotations
@@ -181,7 +184,7 @@ class PanTompkinsPipeline:
             bit-identical to memo-less runs, they just skip recomputing
             nodes the memo has already seen.
         root_key:
-            Precomputed key of the root node (the raw samples); derived via
+            Precomputed content hash of the raw samples; derived via
             ``memo.root_key(samples)`` when omitted.  Ignored without a memo.
         """
         samples = np.asarray(samples, dtype=np.int64)
@@ -194,17 +197,19 @@ class PanTompkinsPipeline:
         current = samples
         if memo is not None and root_key is None:
             root_key = memo.root_key(samples)
-        node_key = root_key
+        input_hash = root_key
         for stage, backend in self.stage_plan():
             if memo is not None:
-                node_key = memo.node_key(node_key, stage, backend)
+                node_key = memo.node_key(input_hash, stage, backend)
                 current = memo.resolve(
                     stage.name,
                     node_key,
                     lambda signal=current, s=stage, b=backend: run_stage(
                         signal, s, b
                     ),
+                    root_hash=root_key,
                 )
+                input_hash = memo.output_hash(node_key, current)
             else:
                 current = run_stage(current, stage, backend)
             result.stage_outputs[stage.name] = current

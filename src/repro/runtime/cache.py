@@ -30,6 +30,15 @@ backend and reported as a miss — the runtime then simply recomputes it.
 All caches also implement the mutable-mapping subset used by
 :class:`~repro.core.quality.DesignEvaluator` (``in`` / ``[]``), so a
 persistent cache can be plugged straight into an evaluator.
+
+This module also hosts the *key-schema marker* helpers shared with the
+persistent signal stores (:mod:`repro.runtime.signal_store`): a store stamps
+itself with the stage-node key schema it was written under
+(:data:`~repro.core.fingerprint.STAGE_KEY_SCHEMA`), so entries written under
+an older scheme (the pre-1.1 prefix-chain keys) are detected on open and
+purged rather than silently mixed with input-addressed nodes.  The result
+caches themselves don't need a marker — their keys already fold in the
+library version via the workload fingerprint.
 """
 
 from __future__ import annotations
@@ -58,7 +67,69 @@ __all__ = [
     "open_cache",
     "serialize_evaluation",
     "deserialize_evaluation",
+    "read_schema_marker_file",
+    "write_schema_marker_file",
+    "read_sqlite_schema_marker",
+    "write_sqlite_schema_marker",
 ]
+
+#: Name of the key-schema marker file inside directory-backed stores.  Does
+#: not end in any entry suffix (``.signal.json`` / ``.json`` entries are hex
+#: digests), so eviction indexes and entry scans never pick it up.
+SCHEMA_MARKER_FILENAME = "_schema.json"
+
+
+# ------------------------------------------------------------ schema markers
+def read_schema_marker_file(
+    directory: str, filename: str = SCHEMA_MARKER_FILENAME
+) -> Optional[str]:
+    """Key-schema tag a directory-backed store was written under.
+
+    ``None`` when the directory carries no (readable) marker — which is how
+    stores written before schema tagging existed present themselves.
+    """
+    path = os.path.join(directory, filename)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        tag = payload.get("schema")
+        return tag if isinstance(tag, str) else None
+    except (OSError, json.JSONDecodeError, AttributeError):
+        return None
+
+
+def write_schema_marker_file(
+    directory: str, tag: str, filename: str = SCHEMA_MARKER_FILENAME
+) -> None:
+    """Stamp a directory-backed store with the key-schema tag (atomic)."""
+    path = os.path.join(directory, filename)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"schema": tag}, handle)
+    os.replace(tmp, path)
+
+
+def read_sqlite_schema_marker(connection: sqlite3.Connection) -> Optional[str]:
+    """Key-schema tag of a SQLite-backed store (creates the meta table).
+
+    ``None`` when no tag was ever written — databases predating schema
+    tagging have a ``meta`` table created on the spot, but no ``schema`` row.
+    """
+    connection.execute(
+        "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+    )
+    row = connection.execute(
+        "SELECT value FROM meta WHERE key = 'schema'"
+    ).fetchone()
+    return row[0] if row is not None else None
+
+
+def write_sqlite_schema_marker(connection: sqlite3.Connection, tag: str) -> None:
+    """Stamp a SQLite-backed store with the key-schema tag (caller commits)."""
+    connection.execute(
+        "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema', ?)",
+        (tag,),
+    )
 
 
 # ----------------------------------------------------------- size-cap helpers

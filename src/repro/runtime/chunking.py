@@ -7,6 +7,12 @@ few chunks per worker, clamped to a configurable range — and callers can pin
 an explicit ``chunk_size`` when they know the workload shape (e.g. the
 multi-record sweeps of the resilience analysis, whose per-design cost is
 uniform).
+
+Warm evaluations are cheap (~5 ms each once the stage graph and result cache
+are hot), so per-design dispatch overhead dominates small grids and a thread
+pool can *lose* to serial execution.  ``min_designs_per_task`` floors the
+derived chunk size at a few designs per submitted task, amortising the
+dispatch cost — while never forcing fewer tasks than there are workers.
 """
 
 from __future__ import annotations
@@ -34,12 +40,18 @@ class ChunkPolicy:
         for non-uniform task costs).
     min_chunk_size / max_chunk_size:
         Clamp applied to the derived size.
+    min_designs_per_task:
+        Floor on the derived chunk size: each submitted task carries at
+        least this many designs (dispatch amortisation), except when that
+        would leave workers idle — the floor is itself capped at
+        ``ceil(task_count / workers)`` so every worker still gets work.
     """
 
     chunk_size: int | None = None
     chunks_per_worker: int = 4
     min_chunk_size: int = 1
     max_chunk_size: int = 64
+    min_designs_per_task: int = 4
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -47,6 +59,10 @@ class ChunkPolicy:
         if self.chunks_per_worker < 1:
             raise ValueError(
                 f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+        if self.min_designs_per_task < 1:
+            raise ValueError(
+                f"min_designs_per_task must be >= 1, got {self.min_designs_per_task}"
             )
         if not 1 <= self.min_chunk_size <= self.max_chunk_size:
             raise ValueError(
@@ -65,6 +81,10 @@ class ChunkPolicy:
         if task_count == 0:
             return self.min_chunk_size
         derived = math.ceil(task_count / (workers * self.chunks_per_worker))
+        derived = max(
+            derived,
+            min(self.min_designs_per_task, math.ceil(task_count / workers)),
+        )
         return max(self.min_chunk_size, min(self.max_chunk_size, derived))
 
 

@@ -37,9 +37,12 @@ cache), ``--signal-store`` (a persistent store for the stage graph's
 intermediate signals, same path conventions as ``--cache``, with its own
 ``--signal-store-max-entries``/``--signal-store-max-bytes`` budgets) and
 ``--verbose`` for per-design progress lines.  Every run ends with the
-runtime's execution and cache statistics — including the per-stage hit rates
-of the stage-graph signal store and the measured speedup over the paper's
-~300 s per-evaluation serial cost model.
+runtime's execution and cache statistics — the per-stage hit rates of the
+stage-graph signal store broken down by reuse class (classic same-record
+hits, cross-record hits, warm hits from seeded or persistent nodes — the
+stage graph is input-addressed, so reuse spans designs, records and runs),
+the compiled-LUT registry footprint, and the measured speedup over the
+paper's ~300 s per-evaluation serial cost model.
 
 ``explore`` and ``evaluate`` also take ``--json``, which replaces the human
 report with a machine-readable document built on the canonical

@@ -31,7 +31,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from ..arithmetic.compiled import prewarm_tables
+from ..arithmetic.compiled import prewarm_tables, registry_info
 from ..core.configurations import DesignPoint
 from ..core.exploration_time import ExplorationCostModel
 from ..core.quality import (
@@ -118,6 +118,9 @@ class RuntimeStatistics:
     cache: Dict[str, float]
     stage_hit_rate: float = 0.0
     stage_cache: Dict[str, Dict[str, float]] = None  # type: ignore[assignment]
+    stage_cross_record_hits: int = 0
+    stage_warm_hits: int = 0
+    lut_registry: Dict[str, int] = None  # type: ignore[assignment]
 
     def report(self) -> str:
         """Multi-line human-readable summary (used by the CLI)."""
@@ -134,7 +137,9 @@ class RuntimeStatistics:
         if self.stage_cache:
             lines.append(
                 f"stage-node reuse : {self.stage_hit_rate * 100:.1f}% of stage "
-                "runs served from the signal store"
+                "runs served from the signal store "
+                f"({self.stage_cross_record_hits} cross-record, "
+                f"{self.stage_warm_hits} warm)"
             )
             for name, row in self.stage_cache.items():
                 lines.append(
@@ -142,6 +147,12 @@ class RuntimeStatistics:
                     f"{int(row['hits'])} reused "
                     f"({row['hit_rate'] * 100:.1f}% hit rate)"
                 )
+        if self.lut_registry:
+            lines.append(
+                f"compiled LUTs    : {self.lut_registry.get('tables', 0)} tables "
+                f"({self.lut_registry.get('builds', 0)} builds, "
+                f"{self.lut_registry.get('bytes', 0) / 1024:.0f} KiB)"
+            )
         return "\n".join(lines)
 
 
@@ -472,4 +483,7 @@ class ExplorationRuntime:
             cache=cache_stats,
             stage_hit_rate=stage_stats.hit_rate(),
             stage_cache=stage_stats.as_dict(),
+            stage_cross_record_hits=stage_stats.total_cross_record_hits,
+            stage_warm_hits=stage_stats.total_warm_hits,
+            lut_registry=registry_info(),
         )

@@ -16,7 +16,11 @@ level down the execution hierarchy:
 
 Every persisted node embeds a SHA-256 checksum; a corrupted entry is counted,
 dropped and reported as a miss, so the executor transparently recomputes the
-stage.  All stores are size-capped (``max_entries``, and for the persistent
+stage.  Persistent stores are additionally stamped with the stage-node key
+schema (:data:`~repro.core.fingerprint.STAGE_KEY_SCHEMA`) they were written
+under: on open, a store carrying a different (or no) schema tag has its
+entries purged and counted in ``stats.stale`` — prefix-chain-keyed nodes
+from before the input-addressed refactor are detected, never silently mixed.  All stores are size-capped (``max_entries``, and for the persistent
 backends also a ``max_bytes`` byte budget) with oldest-first eviction and
 eviction accounting, because a long exploration writes far more intermediate
 signals than final results.
@@ -38,8 +42,16 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..core.fingerprint import STAGE_KEY_SCHEMA
 from ..core.stage_graph import DEFAULT_STORE_ENTRIES, MemoryStageStore
-from .cache import DirectoryEvictionIndex, SQLiteEvictionBudget
+from .cache import (
+    DirectoryEvictionIndex,
+    SQLiteEvictionBudget,
+    read_schema_marker_file,
+    read_sqlite_schema_marker,
+    write_schema_marker_file,
+    write_sqlite_schema_marker,
+)
 
 __all__ = [
     "SignalStoreStats",
@@ -58,13 +70,20 @@ MemorySignalStore = MemoryStageStore
 
 @dataclass
 class SignalStoreStats:
-    """Hit/miss/eviction accounting of one persistent signal store."""
+    """Hit/miss/eviction accounting of one persistent signal store.
+
+    ``stale`` counts entries purged on open because the store was written
+    under a different stage-node key schema (or none at all) — e.g. a store
+    populated by the pre-1.1 prefix-chain keys being opened by the
+    input-addressed executor.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
     corrupt: int = 0
+    stale: int = 0
 
     @property
     def lookups(self) -> int:
@@ -84,6 +103,7 @@ class SignalStoreStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "corrupt": self.corrupt,
+            "stale": self.stale,
             "hit_rate": self.hit_rate,
         }
 
@@ -159,6 +179,15 @@ class JSONDirectorySignalStore:
         self.stats = SignalStoreStats()
         self._lock = threading.Lock()
         os.makedirs(directory, exist_ok=True)
+        # Key-schema guard: a directory written under a different node-key
+        # schema (or none — pre-tagging stores) holds entries whose keys can
+        # never be produced again; purge them instead of letting them rot.
+        if read_schema_marker_file(directory) != STAGE_KEY_SCHEMA:
+            for name in os.listdir(directory):
+                if name.endswith(".signal.json"):
+                    self._remove_file(os.path.join(directory, name))
+                    self.stats.stale += 1
+            write_schema_marker_file(directory, STAGE_KEY_SCHEMA)
         self._index = (
             DirectoryEvictionIndex(directory, ".signal.json")
             if max_entries is not None or max_bytes is not None
@@ -296,6 +325,16 @@ class SQLiteSignalStore:
             " checksum TEXT NOT NULL,"
             " payload BLOB NOT NULL)"
         )
+        # Key-schema guard (see JSONDirectorySignalStore): rows written under
+        # a different node-key schema are unreachable by the current keys —
+        # purge them and restamp rather than mixing schemes in one table.
+        if read_sqlite_schema_marker(self._connection) != STAGE_KEY_SCHEMA:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM signals"
+            ).fetchone()
+            self._connection.execute("DELETE FROM signals")
+            self.stats.stale += int(count)
+            write_sqlite_schema_marker(self._connection, STAGE_KEY_SCHEMA)
         self._connection.commit()
         self._budget = (
             SQLiteEvictionBudget(

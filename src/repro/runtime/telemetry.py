@@ -138,6 +138,23 @@ class RuntimeTelemetry:
         resolved = hits + computes
         return hits / resolved if resolved else 0.0
 
+    @property
+    def stage_cross_record_hits(self) -> int:
+        """Stage hits on nodes computed under a different record (mirrored)."""
+        return int(
+            sum(
+                row.get("cross_record_hits", 0)
+                for row in self.stage_stats.values()
+            )
+        )
+
+    @property
+    def stage_warm_hits(self) -> int:
+        """Stage hits on seeded / persistent-store nodes (mirrored)."""
+        return int(
+            sum(row.get("warm_hits", 0) for row in self.stage_stats.values())
+        )
+
     def snapshot(self) -> Dict[str, float]:
         """Plain-dict rendering for reports and the CLI."""
         return {
@@ -150,6 +167,8 @@ class RuntimeTelemetry:
             "wall_clock_s": self.wall_clock_s,
             "evaluations_per_second": self.evaluations_per_second,
             "stage_hit_rate": self.stage_hit_rate,
+            "stage_cross_record_hits": self.stage_cross_record_hits,
+            "stage_warm_hits": self.stage_warm_hits,
             "stage_stats": {
                 name: dict(row) for name, row in self.stage_stats.items()
             },

@@ -32,6 +32,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..arithmetic.compiled import registry_info
 from ..runtime.cache import MemoryResultCache, ResultCache
 from ..runtime.chunking import ChunkPolicy
 from ..runtime.engine import ExplorationRuntime
@@ -116,7 +117,13 @@ class RuntimeProvider:
         size_bytes = self.cache.size_bytes()
         if size_bytes is not None:
             cache_stats["size_bytes"] = size_bytes
-        doc: Dict[str, object] = {"result_cache": cache_stats, "workloads": []}
+        doc: Dict[str, object] = {
+            "result_cache": cache_stats,
+            "workloads": [],
+            # Compiled-LUT registry footprint (process-wide: every workload's
+            # approximate arithmetic runs through the same tables).
+            "arithmetic": registry_info(),
+        }
         store = self.signal_store
         if store is not None:
             store_stats = getattr(store, "stats", None)
@@ -134,6 +141,10 @@ class RuntimeProvider:
                     "duration_s": duration_s,
                     "telemetry": runtime.telemetry.snapshot(),
                     "stage_hit_rate": runtime.stage_stats.hit_rate(),
+                    "stage_cross_record_hits": (
+                        runtime.stage_stats.total_cross_record_hits
+                    ),
+                    "stage_warm_hits": runtime.stage_stats.total_warm_hits,
                 }
             )
         return doc

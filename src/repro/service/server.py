@@ -20,7 +20,10 @@ API:
 ``GET /healthz``      liveness + library version
 ``GET /stats``        job counters (incl. dropped events + expired jobs),
                       cache hit/eviction rates (entry + byte budgets),
-                      stage-graph hit rates, per-workload telemetry
+                      stage-graph hit rates with reuse classes (cross-record
+                      and warm hits of the input-addressed node store, plus
+                      stale entries purged on a key-schema change), the
+                      compiled-LUT registry footprint, per-workload telemetry
 ====================  ======================================================
 
 Errors are JSON too: 400 for malformed payloads (:exc:`BadRequest`), 404 for

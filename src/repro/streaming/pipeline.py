@@ -9,6 +9,16 @@ filter group delays — produces, after :meth:`StreamingPipeline.finalize`, a
 :class:`~repro.dsp.pan_tompkins.PanTompkinsResult` bit-identical to
 ``PanTompkinsPipeline.process()`` on the concatenated signal, for the
 accurate and every approximate backend.
+
+Streams speak the same input-addressed stage-node keys as the offline
+executor: give the pipeline a :class:`~repro.core.stage_graph.StageGraphMemo`
+and call :meth:`StreamingPipeline.warm_start` with the samples about to be
+replayed, and every leading stage whose node an offline sweep already
+resolved is served from the store — its per-chunk output is a slice of the
+stored signal instead of a streamed computation (bit-identical either way).
+At :meth:`~StreamingPipeline.finalize` the stages the stream did compute are
+published back to the memo, so a later offline run (or another stream) warm
+starts from *this* stream's nodes.
 """
 
 from __future__ import annotations
@@ -69,22 +79,27 @@ class StreamingPipeline:
         backends: BackendSpec = None,
         detection_config: Optional[PeakDetectionConfig] = None,
         sample_rate_hz: Optional[int] = None,
+        memo: Optional[object] = None,
     ) -> None:
         offline = PanTompkinsPipeline(
             backends=backends, detection_config=detection_config
         )
         if sample_rate_hz is not None:
             offline.sample_rate_hz = sample_rate_hz
-        self._init_from(offline)
+        self._init_from(offline, memo=memo)
 
     @classmethod
-    def from_pipeline(cls, pipeline: PanTompkinsPipeline) -> "StreamingPipeline":
+    def from_pipeline(
+        cls, pipeline: PanTompkinsPipeline, memo: Optional[object] = None
+    ) -> "StreamingPipeline":
         """Wrap an existing offline pipeline (same plan, same config)."""
         instance = cls.__new__(cls)
-        instance._init_from(pipeline)
+        instance._init_from(pipeline, memo=memo)
         return instance
 
-    def _init_from(self, offline: PanTompkinsPipeline) -> None:
+    def _init_from(
+        self, offline: PanTompkinsPipeline, memo: Optional[object] = None
+    ) -> None:
         self.offline = offline
         self.sample_rate_hz = offline.sample_rate_hz
         self.detection_config = offline.detection_config
@@ -98,6 +113,54 @@ class StreamingPipeline:
         self._detector = IncrementalPeakDetector(self.detection_config)
         self.total_samples = 0
         self.finalised = False
+        # Stage-graph integration (optional): the memo shares the offline
+        # executor's input-addressed node keys.
+        self._memo = memo
+        self._warm: Dict[str, np.ndarray] = {}
+        self._expected: Optional[np.ndarray] = None
+        self._warm_root: Optional[str] = None
+
+    # ----------------------------------------------------------- warm start
+    @property
+    def warm_stage_count(self) -> int:
+        """Number of leading stages served from the stage-graph store."""
+        return len(self._warm)
+
+    def warm_start(self, samples: np.ndarray) -> int:
+        """Resolve the leading stage nodes for ``samples`` from the memo.
+
+        ``samples`` is the full recording the caller is about to replay; the
+        concatenation of every subsequently pushed chunk must equal it (each
+        ``push`` verifies its slice and raises on divergence).  Walking the
+        input-addressed node chain, every leading stage already present in
+        the memo's store — computed by an offline sweep, another stream, or a
+        previous run via a persistent store — is marked *warm*: its per-chunk
+        output is sliced from the stored full signal instead of streamed.
+        The first absent node stops the walk; that stage and everything
+        downstream stream normally (consuming the warm slices), which is
+        bit-identical because streamers are exact under any chunking.
+
+        Returns the number of warm stages (0 when nothing matched).
+        """
+        if self._memo is None:
+            raise RuntimeError("warm_start needs a pipeline built with a memo")
+        if self.total_samples or self.finalised:
+            raise RuntimeError("warm_start must precede the first push")
+        samples = np.asarray(samples, dtype=np.int64)
+        if samples.ndim != 1 or samples.size == 0:
+            raise ValueError("expected a non-empty one-dimensional sample array")
+        self._expected = samples
+        self._warm_root = self._memo.root_key(samples)
+        self._warm = {}
+        input_hash = self._warm_root
+        for stage, backend in self.offline.stage_plan():
+            key = self._memo.node_key(input_hash, stage, backend)
+            output = self._memo.fetch(stage.name, key, root_hash=self._warm_root)
+            if output is None or output.shape != samples.shape:
+                break
+            self._warm[stage.name] = output
+            input_hash = self._memo.output_hash(key, output)
+        return len(self._warm)
 
     # ---------------------------------------------------------------- feed
     def push(self, chunk: np.ndarray) -> StreamingUpdate:
@@ -108,10 +171,23 @@ class StreamingPipeline:
         if chunk.ndim != 1:
             raise ValueError("expected a one-dimensional chunk")
         update = StreamingUpdate(chunk_samples=int(chunk.size))
+        start = self.total_samples
+        if self._warm:
+            expected = self._expected[start : start + chunk.size]
+            if expected.size != chunk.size or not np.array_equal(chunk, expected):
+                raise ValueError(
+                    "pushed chunk diverges from the warm_start samples"
+                )
         current = chunk
         for streamer in self._streamers:
-            current = streamer.push(current)
             name = streamer.stage.name
+            warm = self._warm.get(name)
+            if warm is not None:
+                # Node already resolved: emit the slice of the stored full
+                # output instead of streaming the stage.
+                current = warm[start : start + chunk.size]
+            else:
+                current = streamer.push(current)
             self._outputs[name].append(current)
             update.stage_chunks[name] = current
         self.total_samples += int(chunk.size)
@@ -143,10 +219,34 @@ class StreamingPipeline:
             raise RuntimeError("pipeline was already finalised")
         detection: PeakDetectionResult = self._detector.finalize()
         self.finalised = True
-        return PanTompkinsResult(
+        result = PanTompkinsResult(
             stage_outputs={
                 name: buffer.array() for name, buffer in self._outputs.items()
             },
             detection=detection,
             sample_rate_hz=self.sample_rate_hz,
         )
+        self._publish(result)
+        return result
+
+    def _publish(self, result: PanTompkinsResult) -> None:
+        """Adopt the stages this stream computed into the stage graph.
+
+        Only runs when :meth:`warm_start` was called and the stream covered
+        the full expected recording (a truncated stream holds prefixes, not
+        node outputs).  Adoption is accounting-free — later lookups of these
+        nodes classify as warm hits, exactly like seeded nodes.
+        """
+        if (
+            self._memo is None
+            or self._expected is None
+            or self.total_samples != self._expected.size
+        ):
+            return
+        input_hash = self._warm_root
+        for stage, backend in self.offline.stage_plan():
+            key = self._memo.node_key(input_hash, stage, backend)
+            output = result.stage_outputs[stage.name]
+            if stage.name not in self._warm:
+                self._memo.adopt(key, output)
+            input_hash = self._memo.output_hash(key, output)

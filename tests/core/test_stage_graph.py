@@ -24,6 +24,7 @@ from repro.core import (
 )
 from repro.core.fingerprint import (
     backend_fingerprint,
+    signal_content_hash,
     signal_root_key,
     stage_fingerprint,
     stage_node_key,
@@ -82,17 +83,26 @@ class TestNodeKeys:
         assert backend_fingerprint(a) != backend_fingerprint(c)
         assert backend_fingerprint(a) != backend_fingerprint(accurate_backend())
 
-    def test_node_key_chains_the_whole_prefix(self):
+    def test_node_key_is_input_addressed(self):
         backend = ArithmeticBackend(
             approx_lsbs=4, adder_cell="ApproxAdd5", multiplier_cell="AppMultV1"
         )
-        root_a = signal_root_key(np.arange(10, dtype=np.int64))
-        root_b = signal_root_key(np.arange(11, dtype=np.int64))
-        key_a = stage_node_key(root_a, STAGE_LPF, backend)
-        # Same stage and backend on different upstream data: different node.
-        assert key_a != stage_node_key(root_b, STAGE_LPF, backend)
-        # Same upstream, different backend: different node.
-        assert key_a != stage_node_key(root_a, STAGE_LPF, accurate_backend())
+        input_a = signal_content_hash(np.arange(10, dtype=np.int64))
+        input_b = signal_content_hash(np.arange(11, dtype=np.int64))
+        key_a = stage_node_key(input_a, STAGE_LPF, backend)
+        # Same stage and backend on different input bits: different node.
+        assert key_a != stage_node_key(input_b, STAGE_LPF, backend)
+        # Same input, different backend: different node.
+        assert key_a != stage_node_key(input_a, STAGE_LPF, accurate_backend())
+        # The key names the input *bits*, not their provenance: any producer
+        # arriving at the same content hash lands on the same node.
+        assert key_a == stage_node_key(
+            signal_content_hash(np.arange(10, dtype=np.int64)), STAGE_LPF, backend
+        )
+
+    def test_root_key_is_the_first_stage_input_hash(self):
+        samples = np.arange(64, dtype=np.int64)
+        assert signal_root_key(samples) == signal_content_hash(samples)
 
     def test_root_key_covers_dtype_and_content(self):
         samples = np.arange(32, dtype=np.int64)
@@ -196,8 +206,14 @@ class TestMemoizedPipelineExecution:
         # Every one of the 15 runs resolved both pre-processing stages.
         assert stats.computes_for("low_pass") + stats.hits_for("low_pass") == 15
         assert stats.computes_for("high_pass") + stats.hits_for("high_pass") == 15
-        # All 14 approximate designs have distinct full prefixes downstream.
-        assert stats.computes_for("moving_window_integral") == 15
+        # Input-addressed suffix sharing: the 2/4-LSB derivative approximation
+        # is a bit-exact no-op on these signals, so the (B7, B8), (B11, B12)
+        # and (B13, B14) pairs produce identical derivative outputs and share
+        # their squarer and MWI nodes — 12 distinct nodes for 15 runs each.
+        assert stats.computes_for("squarer") == 12
+        assert stats.hits_for("squarer") == 3
+        assert stats.computes_for("moving_window_integral") == 12
+        assert stats.hits_for("moving_window_integral") == 3
 
     def test_single_flight_under_concurrent_misses(self, short_record):
         design = paper_configuration("B9")
@@ -269,3 +285,106 @@ class TestWarmStartSeeding:
             donor.accurate_result(short_record).stage_outputs,
         )
         assert written == 5
+
+
+# ------------------------------------------------------ input-addressed reuse
+class TestInputAddressedReuse:
+    def test_records_with_identical_samples_share_every_node(self, short_record):
+        from repro.signals.records import ECGRecord
+
+        twin = ECGRecord(
+            name="twin-of-" + short_record.name,
+            samples=short_record.samples.copy(),
+            r_peak_indices=short_record.r_peak_indices.copy(),
+            sample_rate_hz=short_record.sample_rate_hz,
+        )
+        # The accurate reference chains run at construction: the first record
+        # computes all five nodes, the twin — same bits, different record
+        # object and name — resolves every one from the store.
+        evaluator = DesignEvaluator([short_record, twin])
+        assert evaluator.stage_stats.total_computes == 5
+        assert evaluator.stage_stats.total_hits == 5
+
+    def test_noop_upstream_approximation_shares_downstream_nodes(
+        self, short_record
+    ):
+        # B7 and B8 differ only in the derivative budget (2 vs 4 LSBs), and
+        # both budgets are bit-exact no-ops on this signal — so their
+        # derivative outputs coincide and the squarer/MWI nodes are shared.
+        evaluator = DesignEvaluator([short_record])
+        evaluator.evaluate(paper_configuration("B7"))
+        stats = evaluator.stage_stats
+        sqr_computes = stats.computes_for("squarer")
+        mwi_computes = stats.computes_for("moving_window_integral")
+        evaluator.evaluate(paper_configuration("B8"))
+        assert stats.computes_for("squarer") == sqr_computes
+        assert stats.computes_for("moving_window_integral") == mwi_computes
+        assert stats.hits_for("squarer") >= 1
+        assert stats.hits_for("moving_window_integral") >= 1
+
+    def test_hits_from_a_shared_store_classify_as_warm(self, short_record):
+        design = paper_configuration("B9")
+        pipeline = PanTompkinsPipeline(backends=design.backends())
+        store = MemoryStageStore()
+        donor = StageGraphMemo(store=store)
+        pipeline.process(short_record.samples, memo=donor)
+        assert donor.stats.total_warm_hits == 0
+        # A second memo over the same store never computed any node: all of
+        # its hits are warm (the persistent-store / cross-run reuse class).
+        fresh = StageGraphMemo(store=store)
+        fresh_result = pipeline.process(short_record.samples, memo=fresh)
+        assert fresh.stats.total_computes == 0
+        assert fresh.stats.total_hits == 5
+        assert fresh.stats.total_warm_hits == 5
+        cold = PanTompkinsPipeline(backends=design.backends()).process(
+            short_record.samples
+        )
+        np.testing.assert_array_equal(
+            cold.peak_indices, fresh_result.peak_indices
+        )
+
+    def test_seeded_nodes_classify_as_warm_hits(self, short_record):
+        donor = DesignEvaluator([short_record])
+        seeded = DesignEvaluator(
+            [short_record], accurate_results=donor.accurate_results
+        )
+        seeded.evaluate(DesignPoint.accurate())
+        assert seeded.stage_stats.total_hits == 5
+        assert seeded.stage_stats.total_warm_hits == 5
+
+    def test_cross_record_classification_on_resolve(self):
+        memo = StageGraphMemo()
+        signal = np.arange(8, dtype=np.int64)
+        memo.resolve("s", "node", lambda: signal, root_hash="record-a")
+        # Same node reached again under the same root: a classic hit.
+        memo.resolve("s", "node", lambda: signal, root_hash="record-a")
+        assert memo.stats.cross_record_hits.get("s", 0) == 0
+        # ... and under a different root recording: a cross-record hit.
+        memo.resolve("s", "node", lambda: signal, root_hash="record-b")
+        assert memo.stats.cross_record_hits.get("s", 0) == 1
+        assert memo.stats.total_hits == 2
+        assert memo.stats.total_computes == 1
+
+    def test_chain_keys_matches_executed_node_identity(self, short_record):
+        design = paper_configuration("B7")
+        pipeline = PanTompkinsPipeline(backends=design.backends())
+        memo = StageGraphMemo()
+        pipeline.process(short_record.samples, memo=memo)
+        keys = memo.chain_keys(
+            short_record.samples,
+            pipeline.stages,
+            {s.name: pipeline.backend_for(s) for s in pipeline.stages},
+        )
+        # Every key the walk derives names a node the run actually stored.
+        for key in keys.values():
+            assert key in memo.store
+        # B8 shares the B7 squarer/MWI nodes (no-op derivative budgets).
+        b8 = PanTompkinsPipeline(backends=paper_configuration("B8").backends())
+        keys_b8 = memo.chain_keys(
+            short_record.samples,
+            b8.stages,
+            {s.name: b8.backend_for(s) for s in b8.stages},
+        )
+        assert keys_b8["squarer"] == keys["squarer"]
+        assert keys_b8["moving_window_integral"] == keys["moving_window_integral"]
+        assert keys_b8["derivative"] != keys["derivative"]

@@ -40,6 +40,20 @@ class TestChunkPolicy:
             ChunkPolicy(min_chunk_size=5, max_chunk_size=2)
         with pytest.raises(ValueError):
             ChunkPolicy().size_for(-1, 2)
+        with pytest.raises(ValueError):
+            ChunkPolicy(min_designs_per_task=0)
+
+    def test_small_batches_are_floored_to_amortise_dispatch(self):
+        policy = ChunkPolicy()
+        # 16 warm designs on 4 workers would derive chunk size 1 (16 tasks,
+        # all dispatch overhead); the floor batches 4 designs per task.
+        assert policy.size_for(16, 4) == 4
+        # Large batches already exceed the floor: unchanged derivation.
+        assert policy.size_for(1024, 4) == 64
+        # The floor never leaves workers idle: 6 tasks on 4 workers caps the
+        # floor at ceil(6/4) = 2 designs per task.
+        assert policy.size_for(6, 4) == 2
+        assert ChunkPolicy(min_designs_per_task=1).size_for(16, 4) == 1
 
     def test_chunked_covers_everything_in_order(self):
         chunks = list(chunked(list(range(7)), 3))

@@ -119,6 +119,60 @@ class TestPersistence:
         second.close()
 
 
+# ----------------------------------------------------------- schema guard
+class TestKeySchemaGuard:
+    """Stores written under an older node-key schema are purged, not mixed."""
+
+    def test_json_store_without_marker_is_purged_on_open(self, tmp_path):
+        path = str(tmp_path / "signals")
+        store = JSONDirectorySignalStore(path)
+        store.put("old-node", np.arange(8, dtype=np.int64))
+        # Simulate a store written before schema tagging (or under the
+        # prefix-chain scheme): remove the marker the store just wrote.
+        os.remove(os.path.join(path, "_schema.json"))
+        reopened = JSONDirectorySignalStore(path)
+        assert reopened.stats.stale == 1
+        assert reopened.get("old-node") is None
+        assert len(reopened) == 0
+
+    def test_json_store_with_foreign_schema_is_purged(self, tmp_path):
+        path = str(tmp_path / "signals")
+        store = JSONDirectorySignalStore(path)
+        store.put("old-node", np.arange(8, dtype=np.int64))
+        with open(os.path.join(path, "_schema.json"), "w") as handle:
+            json.dump({"schema": "prefix-chain-v0"}, handle)
+        reopened = JSONDirectorySignalStore(path)
+        assert reopened.stats.stale == 1
+        assert "old-node" not in reopened
+
+    def test_sqlite_store_without_marker_is_purged_on_open(self, tmp_path):
+        path = str(tmp_path / "signals.sqlite")
+        store = SQLiteSignalStore(path)
+        store.put("a", np.arange(8, dtype=np.int64))
+        store.put("b", np.arange(8, dtype=np.int64))
+        store._connection.execute("DELETE FROM meta WHERE key = 'schema'")
+        store._connection.commit()
+        store.close()
+        reopened = SQLiteSignalStore(path)
+        assert reopened.stats.stale == 2
+        assert len(reopened) == 0
+        reopened.close()
+
+    def test_matching_schema_keeps_entries(self, tmp_path):
+        for kind in ("json", "sqlite"):
+            store = make_store(kind, tmp_path, tag=f"-keep-{kind}")
+            store.put("node", np.arange(8, dtype=np.int64))
+            if kind == "sqlite":
+                store.close()
+            reopened = make_store(kind, tmp_path, tag=f"-keep-{kind}")
+            assert reopened.stats.stale == 0
+            np.testing.assert_array_equal(
+                reopened.get("node"), np.arange(8, dtype=np.int64)
+            )
+            if kind == "sqlite":
+                reopened.close()
+
+
 # -------------------------------------------------------------- corruption
 class TestCorruptionRecovery:
     def test_json_checksum_mismatch_is_dropped(self, tmp_path):

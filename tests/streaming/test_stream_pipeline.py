@@ -121,6 +121,122 @@ def test_finalize_guards(stream_signal):
         pipeline.finalize()
 
 
+class TestStageGraphWarmStart:
+    """Streams share the offline executor's input-addressed stage nodes."""
+
+    def test_stream_warm_starts_from_offline_nodes(self, short_record):
+        from repro.core import StageGraphMemo
+
+        design = paper_configuration("B6")
+        signal = np.asarray(short_record.samples, dtype=np.int64)
+        memo = StageGraphMemo()
+        offline = PanTompkinsPipeline(backends=design.backends())
+        reference = offline.process(signal, memo=memo)
+        computes_before = memo.stats.total_computes
+        pipeline = StreamingPipeline(backends=design.backends(), memo=memo)
+        # Every node the offline run resolved serves the stream: all five
+        # stages are warm, and they account as (warm) hits on the memo.
+        assert pipeline.warm_start(signal) == 5
+        assert memo.stats.total_warm_hits == 0  # offline memo computed them
+        assert memo.stats.total_hits >= 5
+        for lo in range(0, signal.size, 50):
+            pipeline.push(signal[lo : lo + 50])
+        result = pipeline.finalize()
+        assert memo.stats.total_computes == computes_before
+        assert result.detection.peak_indices == reference.detection.peak_indices
+        assert np.array_equal(result.integrated, reference.integrated)
+
+    def test_partial_warm_start_stays_bit_identical(self, short_record):
+        from repro.core import StageGraphMemo
+
+        signal = np.asarray(short_record.samples, dtype=np.int64)
+        memo = StageGraphMemo()
+        # Offline sweep of a design sharing only the low-pass budget: the
+        # stream warm-starts its LPF node and streams everything downstream.
+        PanTompkinsPipeline(
+            backends=DesignPoint.from_lsbs({"lpf": 10, "hpf": 12}).backends()
+        ).process(signal, memo=memo)
+        design = DesignPoint.from_lsbs({"lpf": 10, "hpf": 8})
+        reference = PanTompkinsPipeline(backends=design.backends()).process(
+            signal
+        )
+        pipeline = StreamingPipeline(backends=design.backends(), memo=memo)
+        assert pipeline.warm_start(signal) == 1
+        for lo in range(0, signal.size, 37):
+            pipeline.push(signal[lo : lo + 37])
+        result = pipeline.finalize()
+        assert result.detection.peak_indices == reference.detection.peak_indices
+        for name in reference.stage_outputs:
+            assert np.array_equal(
+                result.stage_outputs[name], reference.stage_outputs[name]
+            )
+
+    def test_finalized_stream_publishes_nodes_for_later_runs(self, short_record):
+        from repro.core import StageGraphMemo
+
+        design = paper_configuration("B6")
+        signal = np.asarray(short_record.samples, dtype=np.int64)
+        memo = StageGraphMemo()
+        pipeline = StreamingPipeline(backends=design.backends(), memo=memo)
+        assert pipeline.warm_start(signal) == 0  # nothing to reuse yet
+        for lo in range(0, signal.size, 50):
+            pipeline.push(signal[lo : lo + 50])
+        pipeline.finalize()
+        # The published nodes feed a later offline run without any computes;
+        # stream-published nodes classify as warm hits, like seeded ones.
+        offline = PanTompkinsPipeline(backends=design.backends())
+        offline.process(signal, memo=memo)
+        assert memo.stats.total_computes == 0
+        assert memo.stats.total_hits == 5
+        assert memo.stats.total_warm_hits == 5
+
+    def test_push_rejects_divergence_from_warm_start_samples(self, short_record):
+        from repro.core import StageGraphMemo
+
+        signal = np.asarray(short_record.samples, dtype=np.int64)
+        memo = StageGraphMemo()
+        PanTompkinsPipeline().process(signal, memo=memo)
+        pipeline = StreamingPipeline(memo=memo)
+        assert pipeline.warm_start(signal) == 5
+        with pytest.raises(ValueError):
+            pipeline.push(signal[:50] + 1)
+
+    def test_warm_start_guards(self, stream_signal):
+        from repro.core import StageGraphMemo
+
+        with pytest.raises(RuntimeError):
+            StreamingPipeline().warm_start(stream_signal)
+        pipeline = StreamingPipeline(memo=StageGraphMemo())
+        pipeline.push(stream_signal[:50])
+        with pytest.raises(RuntimeError):
+            pipeline.warm_start(stream_signal)
+
+    def test_session_accepts_memo_and_warm_start(self, short_record):
+        from repro.core import StageGraphMemo
+
+        design = paper_configuration("B6")
+        signal = np.asarray(short_record.samples, dtype=np.int64)
+        memo = StageGraphMemo()
+        PanTompkinsPipeline(backends=design.backends()).process(
+            signal, memo=memo
+        )
+        session = StreamSession(
+            design=design,
+            sample_rate_hz=short_record.sample_rate_hz,
+            true_peaks=short_record.r_peak_indices,
+            memo=memo,
+            warm_start_samples=signal,
+        )
+        assert session.warm_stage_count == 5
+        for lo in range(0, signal.size, 50):
+            session.push(signal[lo : lo + 50])
+        result = session.finalize()
+        reference = PanTompkinsPipeline(backends=design.backends()).process(
+            signal
+        )
+        assert result.detection.peak_indices == reference.detection.peak_indices
+
+
 def test_from_pipeline_wraps_an_existing_plan(stream_signal):
     offline = PanTompkinsPipeline(backends=DESIGNS["B6"].backends())
     reference = offline.process(stream_signal)
