@@ -39,10 +39,13 @@ cross-validates exhaustively at 8 bits and property-tests the full widths.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span as obs_span
 from .bitvector import (
     mask,
     signed_max,
@@ -74,6 +77,23 @@ _SLICE_MASK = (1 << _SLICE_BITS) - 1
 #: Operand width of the widest direct product LUT: 8x8 -> 2^16 entries.
 _BASE_WIDTH = 8
 
+_LUT_COMPILE_SECONDS = obs_metrics.histogram(
+    "repro_lut_compile_seconds",
+    "Build time of one compiled approximate-arithmetic lookup table.",
+)
+_LUT_BUILDS = obs_metrics.counter(
+    "repro_lut_builds_total",
+    "Compiled-LUT builds performed by this process.",
+)
+_LUT_TABLES = obs_metrics.gauge(
+    "repro_lut_tables",
+    "Compiled lookup tables currently resident in the registry.",
+)
+_LUT_TABLE_BYTES = obs_metrics.gauge(
+    "repro_lut_table_bytes",
+    "Total bytes of the resident compiled lookup tables.",
+)
+
 
 # ---------------------------------------------------------------- registry
 class _SingleFlightRegistry:
@@ -104,7 +124,12 @@ class _SingleFlightRegistry:
                     break  # this thread builds
             event.wait()
         try:
-            table = build()
+            with obs_span("lut.compile", kind=str(key[0]) if key else ""):
+                build_started = time.perf_counter()
+                table = build()
+                _LUT_COMPILE_SECONDS.observe(
+                    time.perf_counter() - build_started
+                )
         except BaseException:
             with self._lock:
                 del self._building[key]
@@ -114,6 +139,11 @@ class _SingleFlightRegistry:
             self._tables[key] = table
             self._builds += 1
             del self._building[key]
+            _LUT_BUILDS.inc()
+            _LUT_TABLES.set(len(self._tables))
+            _LUT_TABLE_BYTES.set(
+                int(sum(t.nbytes for t in self._tables.values()))
+            )
         event.set()
         return table
 

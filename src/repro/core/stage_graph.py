@@ -37,6 +37,7 @@ running a stage and tells it afterwards.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence
@@ -45,6 +46,8 @@ import numpy as np
 
 from ..arithmetic.library import ArithmeticBackend
 from ..dsp.stages import StageDefinition
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span as obs_span
 from .fingerprint import signal_content_hash, signal_root_key, stage_node_key
 
 __all__ = [
@@ -64,6 +67,21 @@ DEFAULT_STORE_ENTRIES = 512
 #: computed-root provenance).  Entries are tiny (two hex strings), the cap
 #: only guards against unbounded growth over very long-lived memos.
 _BOOKKEEPING_ENTRIES = 4096
+
+#: Stage-node resolution latency, labelled by stage name and hit class
+#: (``classic`` / ``cross_record`` / ``warm`` for store hits, ``miss`` for
+#: actual stage executions).  Process-wide across every memo instance.
+_RESOLVE_SECONDS = obs_metrics.histogram(
+    "repro_stage_resolve_seconds",
+    "Stage-graph node resolution latency by stage and hit class.",
+    labelnames=("stage", "result"),
+)
+
+_STAGE_STORE_EVICTIONS = obs_metrics.counter(
+    "repro_cache_ops_total",
+    "Cache-tier operations by tier (result_cache/signal_store/stage_store) and op.",
+    labelnames=("tier", "op"),
+)
 
 
 # ------------------------------------------------------------- accounting
@@ -194,6 +212,7 @@ class MemoryStageStore:
             ):
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                _STAGE_STORE_EVICTIONS.labels("stage_store", "evictions").inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -331,6 +350,7 @@ class StageGraphMemo:
         hit: a node this memo never computed is a *warm* hit, one computed
         under a different root is a *cross-record* hit.
         """
+        started = time.perf_counter()
         signal = self.store.get(key)
         if signal is not None:
             with self._lock:
@@ -342,6 +362,9 @@ class StageGraphMemo:
                 else:
                     reuse = "classic"
                 self.stats.record(stage_name, hit=True, reuse=reuse)
+            _RESOLVE_SECONDS.labels(stage_name, reuse).observe(
+                time.perf_counter() - started
+            )
         return signal
 
     def put(
@@ -383,8 +406,13 @@ class StageGraphMemo:
             signal = self.fetch(stage_name, key, root_hash)
             if signal is not None:
                 return signal
-            signal = compute()
-            self.put(stage_name, key, signal, root_hash)
+            with obs_span("stage.compute", stage=stage_name):
+                started = time.perf_counter()
+                signal = compute()
+                self.put(stage_name, key, signal, root_hash)
+                _RESOLVE_SECONDS.labels(stage_name, "miss").observe(
+                    time.perf_counter() - started
+                )
         return signal
 
     # ------------------------------------------------------------ seeding

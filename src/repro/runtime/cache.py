@@ -55,6 +55,16 @@ from typing import Dict, Iterator, Optional
 
 from ..core.configurations import DesignPoint, StageApproximation
 from ..core.quality import DesignEvaluation
+from ..obs import metrics as obs_metrics
+
+#: Shared cache-tier operation counter; the same family is used by the
+#: persistent signal stores (tier="signal_store") and the in-process stage
+#: store (tier="stage_store").
+_CACHE_OPS = obs_metrics.counter(
+    "repro_cache_ops_total",
+    "Cache-tier operations by tier (result_cache/signal_store/stage_store) and op.",
+    labelnames=("tier", "op"),
+)
 
 __all__ = [
     "CacheStats",
@@ -325,6 +335,18 @@ class CacheStats:
     evictions: int = 0
     corrupt: int = 0
 
+    #: Tier label this stats object mirrors into ``repro_cache_ops_total``.
+    _METRICS_TIER = "result_cache"
+
+    def record(self, op: str, count: int = 1) -> None:
+        """Account ``count`` events of ``op`` (``hits``/``misses``/``puts``/
+        ``evictions``/``corrupt``...), mirroring them into the process-wide
+        ``repro_cache_ops_total{tier,op}`` counter."""
+        if not count:
+            return
+        setattr(self, op, getattr(self, op) + int(count))
+        _CACHE_OPS.labels(self._METRICS_TIER, op).inc(count)
+
     @property
     def lookups(self) -> int:
         """Total number of ``get`` calls."""
@@ -454,14 +476,14 @@ class ResultCache(ABC):
         """The cached evaluation for ``key``, or ``None`` on a miss."""
         evaluation = self._read(key)
         if evaluation is None:
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
-        self.stats.hits += 1
+        self.stats.record("hits")
         return evaluation
 
     def put(self, key: str, evaluation: DesignEvaluation) -> None:
         """Store ``evaluation`` under ``key``."""
-        self.stats.puts += 1
+        self.stats.record("puts")
         self._write(key, evaluation)
 
     # Mutable-mapping subset so a cache can back a DesignEvaluator directly.
@@ -520,7 +542,7 @@ class MemoryResultCache(ResultCache):
                 and len(self._entries) > self.max_entries
             ):
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record("evictions")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -578,12 +600,12 @@ class JSONDirectoryCache(ResultCache):
             except FileNotFoundError:
                 return None
             except (OSError, json.JSONDecodeError):
-                self.stats.corrupt += 1
+                self.stats.record("corrupt")
                 self._drop(path)
                 return None
             evaluation = _decode_entry(entry)
             if evaluation is None:
-                self.stats.corrupt += 1
+                self.stats.record("corrupt")
                 self._drop(path)
             return evaluation
 
@@ -604,8 +626,11 @@ class JSONDirectoryCache(ResultCache):
             os.replace(tmp, path)
             if self._index is not None:
                 self._index.record(path)
-                self.stats.evictions += self._index.evict_over_budget(
-                    self.max_entries, self.max_bytes, self._remove_file
+                self.stats.record(
+                    "evictions",
+                    self._index.evict_over_budget(
+                        self.max_entries, self.max_bytes, self._remove_file
+                    ),
                 )
 
     @staticmethod
@@ -713,7 +738,7 @@ class SQLiteResultCache(ResultCache):
                 entry = None
             evaluation = _decode_entry(entry) if entry is not None else None
             if evaluation is None:
-                self.stats.corrupt += 1
+                self.stats.record("corrupt")
                 self._connection.execute(
                     "DELETE FROM evaluations WHERE key = ?", (key,)
                 )
@@ -736,7 +761,7 @@ class SQLiteResultCache(ResultCache):
             )
             if self._budget is not None:
                 self._budget.replaced(old_size, len(payload_text))
-                self.stats.evictions += self._budget.evict()
+                self.stats.record("evictions", self._budget.evict())
             self._connection.commit()
 
     def __len__(self) -> int:

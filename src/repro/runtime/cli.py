@@ -47,6 +47,14 @@ paper's ~300 s per-evaluation serial cost model.
 ``explore`` and ``evaluate`` also take ``--json``, which replaces the human
 report with a machine-readable document built on the canonical
 ``DesignEvaluation`` serializer — the exact shape the service API returns.
+
+``explore``, ``evaluate`` and ``stream`` additionally take the observability
+options (:mod:`repro.obs`): ``--metrics-out PATH`` dumps the process metrics
+registry when the command finishes (Prometheus text for ``.prom``/``.txt``
+paths, canonical JSON otherwise), ``--trace-out PATH`` enables span tracing
+and writes the spans on exit (live JSONL for ``.jsonl`` paths, a Chrome
+``chrome://tracing`` / Perfetto ``trace_event`` JSON file otherwise), and
+``--profile`` prints the five slowest spans plus a metrics digest to stderr.
 """
 
 from __future__ import annotations
@@ -117,6 +125,74 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--verbose", action="store_true",
         help="print one progress line per resolved design")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry on exit: Prometheus text for "
+             ".prom/.txt paths, canonical JSON otherwise")
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable span tracing and write the spans on exit: live JSONL "
+             "for .jsonl paths, Chrome trace_event JSON otherwise")
+    group.add_argument(
+        "--profile", action="store_true",
+        help="print the five slowest spans and a metrics digest to stderr "
+             "when the command finishes (implies tracing)")
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    """Enable tracing before the handler runs when the obs flags ask for it."""
+    trace_out = getattr(args, "trace_out", None)
+    profile = getattr(args, "profile", False)
+    if trace_out is None and not profile:
+        return
+    from ..obs import configure_tracing
+
+    jsonl_path = None
+    if trace_out is not None and trace_out.endswith(".jsonl"):
+        jsonl_path = trace_out
+    configure_tracing(enabled=True, capacity=65536, jsonl_path=jsonl_path)
+
+
+def _finalize_observability(args: argparse.Namespace) -> None:
+    """Write --metrics-out / --trace-out and print the --profile report."""
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    profile = getattr(args, "profile", False)
+    if metrics_out is None and trace_out is None and not profile:
+        return
+    from ..obs import get_registry, get_tracer
+    from ..obs import metrics as obs_metrics
+
+    registry = get_registry()
+    tracer = get_tracer()
+    if metrics_out is not None:
+        if metrics_out.endswith((".prom", ".txt")):
+            text = registry.render_prometheus()
+        else:
+            text = registry.render_json()
+        with open(metrics_out, "w", encoding="utf-8") as sink:
+            sink.write(text)
+    if trace_out is not None:
+        if trace_out.endswith(".jsonl"):
+            # The live JSONL sink already wrote every span; detach it so the
+            # file is flushed and closed.
+            tracer.configure(jsonl_path=None)
+        else:
+            tracer.write_chrome_trace(trace_out)
+    if profile:
+        print("\nprofile: slowest spans", file=sys.stderr)
+        for entry in tracer.top_spans(5):
+            print(
+                f"  {entry['duration_s'] * 1e3:10.3f} ms  {entry['name']}",
+                file=sys.stderr,
+            )
+        print("profile: metrics digest", file=sys.stderr)
+        for line in obs_metrics.render_digest(registry):
+            print(f"  {line}", file=sys.stderr)
 
 
 def _record_names(args: argparse.Namespace) -> List[str]:
@@ -539,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the canonical machine-readable JSON document (the same "
              "DesignEvaluation shape the service API returns)")
     _add_runtime_options(explore)
+    _add_obs_options(explore)
     explore.set_defaults(handler=_cmd_explore)
 
     evaluate = subparsers.add_parser(
@@ -554,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the canonical machine-readable JSON document (the same "
              "DesignEvaluation shape the service API returns)")
     _add_runtime_options(evaluate)
+    _add_obs_options(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     resilience = subparsers.add_parser(
@@ -617,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable session summary instead of the live log")
+    _add_obs_options(stream)
     stream.set_defaults(handler=_cmd_stream)
 
     return parser
@@ -626,7 +705,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    _configure_observability(args)
+    try:
+        return args.handler(args)
+    finally:
+        _finalize_observability(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,8 @@ from ..core.quality import (
     run_design_evaluation,
 )
 from ..dsp.detection import PeakDetectionConfig
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import get_tracer, span as obs_span
 from ..signals.records import ECGRecord
 from .cache import MemoryResultCache, ResultCache
 from .chunking import ChunkPolicy, chunked
@@ -51,6 +53,16 @@ __all__ = ["EXECUTOR_KINDS", "RuntimeStatistics", "ExplorationRuntime"]
 
 #: Supported execution backends.
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+_DESIGNS_RESOLVED = obs_metrics.counter(
+    "repro_designs_resolved_total",
+    "Design points resolved by the runtime, by source (computed/cache).",
+    labelnames=("source",),
+)
+_BATCH_SECONDS = obs_metrics.histogram(
+    "repro_evaluate_batch_seconds",
+    "Wall-clock duration of ExplorationRuntime.evaluate_many batches.",
+)
 
 
 # ----------------------------------------------------- process-pool plumbing
@@ -121,6 +133,9 @@ class RuntimeStatistics:
     stage_cross_record_hits: int = 0
     stage_warm_hits: int = 0
     lut_registry: Dict[str, int] = None  # type: ignore[assignment]
+    #: Observability snapshot: full metrics-registry document plus tracer
+    #: state ({"metrics": ..., "metric_series": N, "tracing": {...}}).
+    obs: Dict[str, object] = None  # type: ignore[assignment]
 
     def report(self) -> str:
         """Multi-line human-readable summary (used by the CLI)."""
@@ -152,6 +167,14 @@ class RuntimeStatistics:
                 f"compiled LUTs    : {self.lut_registry.get('tables', 0)} tables "
                 f"({self.lut_registry.get('builds', 0)} builds, "
                 f"{self.lut_registry.get('bytes', 0) / 1024:.0f} KiB)"
+            )
+        if self.obs:
+            tracing = self.obs.get("tracing", {})
+            state = "on" if tracing.get("enabled") else "off"
+            lines.append(
+                f"observability    : {self.obs.get('metric_series', 0)} metric "
+                f"series, {tracing.get('buffered', 0)} spans buffered "
+                f"(tracing {state})"
             )
         return "\n".join(lines)
 
@@ -298,6 +321,22 @@ class ExplorationRuntime:
         arrive in input order, chunk by chunk, not all at the end).
         """
         designs = list(designs)
+        with obs_span(
+            "runtime.evaluate_many",
+            designs=len(designs),
+            executor=self.executor_kind,
+        ) as batch_span:
+            return self._evaluate_many_traced(
+                designs, use_cache, progress, batch_span
+            )
+
+    def _evaluate_many_traced(
+        self,
+        designs: List[DesignPoint],
+        use_cache: bool,
+        progress: Optional[ProgressCallback],
+        batch_span,
+    ) -> List[DesignEvaluation]:
         total = len(designs)
         callback = progress or self.progress
         started = time.perf_counter()
@@ -361,6 +400,11 @@ class ExplorationRuntime:
             self._evaluation_count += len(misses)
             self.telemetry.record_batch(len(misses), len(hit_indices), elapsed)
             self.telemetry.update_stage_stats(self._core.stage_stats.as_dict())
+        _DESIGNS_RESOLVED.labels("computed").inc(len(misses))
+        _DESIGNS_RESOLVED.labels("cache").inc(len(hit_indices))
+        _BATCH_SECONDS.observe(elapsed)
+        batch_span.set_attribute("computed", len(misses))
+        batch_span.set_attribute("cache_hits", len(hit_indices))
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------ execution
@@ -402,20 +446,22 @@ class ExplorationRuntime:
         # The stage memo is thread-safe, so thread-pool workers share the
         # parent's stage graph: designs with a common settings prefix reuse
         # upstream stage outputs regardless of which worker runs them.
-        return run_design_evaluation(
-            design,
-            self._core.records,
-            self._accurate,
-            detection_config=self.detection_config,
-            peak_tolerance_samples=self.peak_tolerance_samples,
-            stage_memo=self._core.stage_memo,
-        )
+        with obs_span("runtime.evaluate", design=design.name):
+            return run_design_evaluation(
+                design,
+                self._core.records,
+                self._accurate,
+                detection_config=self.detection_config,
+                peak_tolerance_samples=self.peak_tolerance_samples,
+                stage_memo=self._core.stage_memo,
+            )
 
     def _evaluate_chunk_local(
         self, designs: List[DesignPoint]
     ) -> List[DesignEvaluation]:
         """Thread-pool chunk: shares the parent's read-only accurate runs."""
-        return [self._evaluate_inline(design) for design in designs]
+        with obs_span("runtime.chunk", designs=len(designs)):
+            return [self._evaluate_inline(design) for design in designs]
 
     def _ensure_executor(self) -> Executor:
         # Guarded: concurrent evaluate_many callers (service jobs sharing one
@@ -486,4 +532,9 @@ class ExplorationRuntime:
             stage_cross_record_hits=stage_stats.total_cross_record_hits,
             stage_warm_hits=stage_stats.total_warm_hits,
             lut_registry=registry_info(),
+            obs={
+                "metric_series": obs_metrics.get_registry().series_count(),
+                "tracing": get_tracer().info(),
+                "metrics": obs_metrics.get_registry().snapshot(),
+            },
         )

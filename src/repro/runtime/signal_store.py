@@ -45,6 +45,7 @@ import numpy as np
 from ..core.fingerprint import STAGE_KEY_SCHEMA
 from ..core.stage_graph import DEFAULT_STORE_ENTRIES, MemoryStageStore
 from .cache import (
+    _CACHE_OPS,
     DirectoryEvictionIndex,
     SQLiteEvictionBudget,
     read_schema_marker_file,
@@ -84,6 +85,17 @@ class SignalStoreStats:
     evictions: int = 0
     corrupt: int = 0
     stale: int = 0
+
+    #: Tier label this stats object mirrors into ``repro_cache_ops_total``.
+    _METRICS_TIER = "signal_store"
+
+    def record(self, op: str, count: int = 1) -> None:
+        """Account ``count`` events of ``op``, mirroring them into the
+        process-wide ``repro_cache_ops_total{tier,op}`` counter."""
+        if not count:
+            return
+        setattr(self, op, getattr(self, op) + int(count))
+        _CACHE_OPS.labels(self._METRICS_TIER, op).inc(count)
 
     @property
     def lookups(self) -> int:
@@ -186,7 +198,7 @@ class JSONDirectorySignalStore:
             for name in os.listdir(directory):
                 if name.endswith(".signal.json"):
                     self._remove_file(os.path.join(directory, name))
-                    self.stats.stale += 1
+                    self.stats.record("stale")
             write_schema_marker_file(directory, STAGE_KEY_SCHEMA)
         self._index = (
             DirectoryEvictionIndex(directory, ".signal.json")
@@ -205,35 +217,38 @@ class JSONDirectorySignalStore:
                 with open(path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
             except FileNotFoundError:
-                self.stats.misses += 1
+                self.stats.record("misses")
                 return None
             except (OSError, json.JSONDecodeError):
-                self.stats.corrupt += 1
-                self.stats.misses += 1
+                self.stats.record("corrupt")
+                self.stats.record("misses")
                 self._drop(path)
                 return None
             signal = _decode_signal(payload)
             if signal is None:
-                self.stats.corrupt += 1
-                self.stats.misses += 1
+                self.stats.record("corrupt")
+                self.stats.record("misses")
                 self._drop(path)
                 return None
-            self.stats.hits += 1
+            self.stats.record("hits")
             return signal
 
     def put(self, key: str, signal: np.ndarray) -> None:
         """Store ``signal`` under ``key`` (atomic write, then evict to cap)."""
         path = self._path(key)
         with self._lock:
-            self.stats.puts += 1
+            self.stats.record("puts")
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(_encode_signal(signal), handle)
             os.replace(tmp, path)
             if self._index is not None:
                 self._index.record(path)
-                self.stats.evictions += self._index.evict_over_budget(
-                    self.max_entries, self.max_bytes, self._remove_file
+                self.stats.record(
+                    "evictions",
+                    self._index.evict_over_budget(
+                        self.max_entries, self.max_bytes, self._remove_file
+                    ),
                 )
 
     def _drop(self, path: str) -> None:
@@ -333,7 +348,7 @@ class SQLiteSignalStore:
                 "SELECT COUNT(*) FROM signals"
             ).fetchone()
             self._connection.execute("DELETE FROM signals")
-            self.stats.stale += int(count)
+            self.stats.record("stale", int(count))
             write_sqlite_schema_marker(self._connection, STAGE_KEY_SCHEMA)
         self._connection.commit()
         self._budget = (
@@ -354,13 +369,13 @@ class SQLiteSignalStore:
                 (key,),
             ).fetchone()
             if row is None:
-                self.stats.misses += 1
+                self.stats.record("misses")
                 return None
             dtype, shape, checksum, blob = row
             signal = self._decode_row(dtype, shape, checksum, blob)
             if signal is None:
-                self.stats.corrupt += 1
-                self.stats.misses += 1
+                self.stats.record("corrupt")
+                self.stats.record("misses")
                 self._connection.execute(
                     "DELETE FROM signals WHERE key = ?", (key,)
                 )
@@ -368,7 +383,7 @@ class SQLiteSignalStore:
                     self._budget.removed(len(blob))
                 self._connection.commit()
                 return None
-            self.stats.hits += 1
+            self.stats.record("hits")
             return signal
 
     @staticmethod
@@ -393,7 +408,7 @@ class SQLiteSignalStore:
         shape = json.dumps(list(signal.shape))
         blob = signal.tobytes()
         with self._lock:
-            self.stats.puts += 1
+            self.stats.record("puts")
             old_size = (
                 self._budget.size_of(key) if self._budget is not None else None
             )
@@ -404,7 +419,7 @@ class SQLiteSignalStore:
             )
             if self._budget is not None:
                 self._budget.replaced(old_size, len(blob))
-                self.stats.evictions += self._budget.evict()
+                self.stats.record("evictions", self._budget.evict())
             self._connection.commit()
 
     def size_bytes(self) -> int:

@@ -35,7 +35,10 @@ class ProgressEvent:
 
     ``elapsed_s`` is the time since the batch started at the moment this
     design (and every design before it) was resolved — events stream while
-    the batch is still running.
+    the batch is still running.  It is measured with ``time.perf_counter``,
+    the same monotonic clock every span in :mod:`repro.obs.tracing` uses, so
+    progress timings and trace timings are directly comparable and immune to
+    wall-clock steps.
     """
 
     index: int
@@ -71,7 +74,9 @@ class RuntimeTelemetry:
     batches: int = 0
     busy_s: float = 0.0
     stage_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
-    _started_at: float = field(default_factory=time.monotonic, repr=False)
+    # perf_counter, not time.time: wall_clock_s is a duration, and the span
+    # tracer / ProgressEvent.elapsed_s use the same monotonic clock source.
+    _started_at: float = field(default_factory=time.perf_counter, repr=False)
 
     # ----------------------------------------------------------- recording
     def record_batch(self, computed: int, hits: int, elapsed_s: float) -> None:
@@ -105,8 +110,8 @@ class RuntimeTelemetry:
 
     @property
     def wall_clock_s(self) -> float:
-        """Seconds since this telemetry object was created."""
-        return time.monotonic() - self._started_at
+        """Seconds since this telemetry object was created (monotonic)."""
+        return time.perf_counter() - self._started_at
 
     @property
     def evaluations_per_second(self) -> float:

@@ -70,6 +70,27 @@ class ServiceClient:
             raise ServiceError(response.status, document)
         return document
 
+    def _request_text(
+        self, method: str, path: str, timeout: Optional[float] = None
+    ) -> str:
+        """Like :meth:`_request` but for non-JSON (text) endpoints."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request(method, path)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        if response.status >= 400:
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                document = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(response.status, document)
+        return raw.decode("utf-8")
+
     # ------------------------------------------------------------ endpoints
     def healthz(self) -> Dict[str, object]:
         """``GET /healthz``."""
@@ -78,6 +99,14 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         """``GET /stats``."""
         return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — Prometheus text exposition format."""
+        return self._request_text("GET", "/metrics")
+
+    def trace(self, limit: int = 200) -> Dict[str, object]:
+        """``GET /trace`` — recent spans plus tracer state."""
+        return self._request("GET", f"/trace?limit={int(limit)}")
 
     def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
         """``POST /jobs`` with a raw job payload."""

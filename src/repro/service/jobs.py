@@ -636,7 +636,11 @@ class EventLog:
     visible), and ``/stats`` surfaces the total drop count.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        on_drop: Optional[Callable[[int], None]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -645,6 +649,10 @@ class EventLog:
         self.total = 0
         #: Events discarded to honour the capacity bound.
         self.dropped = 0
+        #: Called with the drop count delta whenever events are discarded —
+        #: the scheduler keeps an O(1) running total across all jobs (alive
+        #: or expired) instead of rescanning the job table per ``/stats``.
+        self.on_drop = on_drop
 
     def append(self, event: Dict[str, object]) -> None:
         """Stamp ``event["seq"]`` and retain it (evicting the oldest)."""
@@ -654,6 +662,8 @@ class EventLog:
         if len(self._events) > self.capacity:
             self._events.popleft()
             self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(1)
 
     def since(self, after: int) -> List[Dict[str, object]]:
         """Retained events with ``seq >= after``, oldest first."""
@@ -692,9 +702,15 @@ class Job:
     request: JobRequest
     key: str
     state: str = SUBMITTED
+    #: Wall-clock timestamps (``time.time``) — for humans and status
+    #: documents only.  Durations and TTL expiry use the ``*_monotonic``
+    #: twins below, which cannot jump with NTP steps or DST.
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    submitted_monotonic: float = field(default_factory=time.monotonic)
+    started_monotonic: Optional[float] = None
+    finished_monotonic: Optional[float] = None
     result: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     events: EventLog = field(default_factory=EventLog)

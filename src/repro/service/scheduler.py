@@ -33,6 +33,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..arithmetic.compiled import registry_info
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import get_tracer, span as obs_span
 from ..runtime.cache import MemoryResultCache, ResultCache
 from ..runtime.chunking import ChunkPolicy
 from ..runtime.engine import ExplorationRuntime
@@ -53,6 +55,38 @@ from .jobs import (
 )
 
 __all__ = ["RuntimeProvider", "JobScheduler"]
+
+_JOBS_SUBMITTED = obs_metrics.counter(
+    "repro_jobs_submitted_total",
+    "Job submissions by outcome (new/coalesced/cached).",
+    labelnames=("outcome",),
+)
+_JOBS_FINISHED = obs_metrics.counter(
+    "repro_jobs_finished_total",
+    "Jobs reaching a terminal state, by state.",
+    labelnames=("state",),
+)
+_JOBS_EXPIRED = obs_metrics.counter(
+    "repro_jobs_expired_total",
+    "Terminal jobs dropped from the table by TTL garbage collection.",
+)
+_QUEUE_DEPTH = obs_metrics.gauge(
+    "repro_job_queue_depth",
+    "Jobs currently waiting in the scheduler's priority queue.",
+)
+_QUEUE_WAIT = obs_metrics.histogram(
+    "repro_job_queue_wait_seconds",
+    "Time jobs spend queued before a worker picks them up.",
+)
+_RUN_SECONDS = obs_metrics.histogram(
+    "repro_job_run_seconds",
+    "Job execution duration (running to terminal), by job kind.",
+    labelnames=("kind",),
+)
+_EVENTS_DROPPED = obs_metrics.counter(
+    "repro_job_events_dropped_total",
+    "Per-job progress events discarded by bounded event backlogs.",
+)
 
 
 class RuntimeProvider:
@@ -187,9 +221,14 @@ class JobScheduler:
         self._arrival = itertools.count()
         self._job_ids = itertools.count(1)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        #: Events dropped by jobs already expired from the table (the live
-        #: jobs' drop counts are summed on demand in :meth:`stats`).
-        self._expired_events_dropped = 0
+        #: Running total of events dropped across every job ever (alive or
+        #: expired), maintained at drop time via the event logs' ``on_drop``
+        #: hook — ``stats()`` reads it O(1) instead of rescanning the table.
+        self._events_dropped = 0
+        #: Incremental per-state job counts, maintained on job creation,
+        #: state transition and expiry — another O(jobs) scan ``stats()``
+        #: no longer performs under the event loop.
+        self._state_counts: Dict[str, int] = {}
         self.counters = {
             "submitted": 0,
             "coalesced": 0,
@@ -255,6 +294,7 @@ class JobScheduler:
                 self.counters["submitted"] += 1
                 existing.coalesced += 1
                 self.counters["coalesced"] += 1
+                _JOBS_SUBMITTED.labels("coalesced").inc()
                 return existing, True, False
             if existing.state == SUCCEEDED:
                 # Identical request already answered: serve a fresh job
@@ -268,12 +308,16 @@ class JobScheduler:
                     state=SUCCEEDED,
                     result=existing.result,
                     from_cache=True,
-                    events=EventLog(self.event_backlog),
+                    events=self._new_event_log(),
                 )
                 job.started_at = job.finished_at = job.submitted_at
+                job.started_monotonic = job.submitted_monotonic
+                job.finished_monotonic = job.submitted_monotonic
                 job.append_event({"type": "state", "state": SUCCEEDED})
                 self._jobs[job.id] = job
+                self._bump_state(SUCCEEDED, +1)
                 self.counters["served_from_cache"] += 1
+                _JOBS_SUBMITTED.labels("cached").inc()
                 return job, False, True
             # Failed, cancelled or being cancelled: execute afresh.
         self._require_capacity()
@@ -282,13 +326,26 @@ class JobScheduler:
             id=self._new_job_id(),
             request=request,
             key=key,
-            events=EventLog(self.event_backlog),
+            events=self._new_event_log(),
         )
         job.append_event({"type": "state", "state": SUBMITTED})
         self._jobs[job.id] = job
         self._by_key[key] = job
+        self._bump_state(SUBMITTED, +1)
+        _JOBS_SUBMITTED.labels("new").inc()
         await self._queue.put((request.priority, next(self._arrival), job))
+        _QUEUE_DEPTH.set(self._queue.qsize())
         return job, False, False
+
+    def _new_event_log(self) -> EventLog:
+        return EventLog(self.event_backlog, on_drop=self._on_event_drop)
+
+    def _on_event_drop(self, count: int) -> None:
+        self._events_dropped += count
+        _EVENTS_DROPPED.inc(count)
+
+    def _bump_state(self, state: str, delta: int) -> None:
+        self._state_counts[state] = self._state_counts.get(state, 0) + delta
 
     def _require_capacity(self) -> None:
         if len(self._jobs) >= self.max_jobs:
@@ -301,23 +358,29 @@ class JobScheduler:
             )
 
     def _expire_jobs(self) -> int:
-        """Drop terminal jobs older than the TTL (loop thread only)."""
+        """Drop terminal jobs older than the TTL (loop thread only).
+
+        Age is measured on the monotonic clock (``finished_monotonic``) so a
+        wall-clock step (NTP correction, DST) can neither mass-expire fresh
+        jobs nor keep stale ones alive.
+        """
         if self.job_ttl_s is None:
             return 0
-        now = time.time()
+        now = time.monotonic()
         expired = [
             job
             for job in self._jobs.values()
             if job.done
-            and job.finished_at is not None
-            and now - job.finished_at > self.job_ttl_s
+            and job.finished_monotonic is not None
+            and now - job.finished_monotonic > self.job_ttl_s
         ]
         for job in expired:
             del self._jobs[job.id]
             if self._by_key.get(job.key) is job:
                 del self._by_key[job.key]
-            self._expired_events_dropped += job.events.dropped
+            self._bump_state(job.state, -1)
         self.counters["expired"] += len(expired)
+        _JOBS_EXPIRED.inc(len(expired))
         return len(expired)
 
     async def _gc_loop(self) -> None:
@@ -416,24 +479,33 @@ class JobScheduler:
         }
 
     def stats(self) -> Dict[str, object]:
-        """The ``/stats`` document: job counters plus runtime/cache telemetry."""
-        self._expire_jobs()
-        states: Dict[str, int] = {}
-        events_dropped = self._expired_events_dropped
-        for job in self._jobs.values():
-            states[job.state] = states.get(job.state, 0) + 1
-            events_dropped += job.events.dropped
+        """The ``/stats`` document: job counters plus runtime/cache telemetry.
+
+        Copy-on-read: state counts and the dropped-event total are
+        maintained incrementally (on submit / transition / expiry / drop),
+        and the metrics document is a snapshot of the process registry — no
+        per-poll scan of the job table runs under the event loop, so a tight
+        ``/stats`` poller cannot stall running jobs.  TTL expiry happens in
+        the background GC loop, not here.
+        """
+        states = {
+            state: count
+            for state, count in sorted(self._state_counts.items())
+            if count > 0
+        }
         return {
             "jobs": {
                 "total": len(self._jobs),
                 "queued": self._queue.qsize(),
                 "states": states,
-                "events_dropped": events_dropped,
+                "events_dropped": self._events_dropped,
                 "event_backlog": self.event_backlog,
                 "job_ttl_s": self.job_ttl_s,
                 **self.counters,
             },
             "runtime": self.provider.statistics(),
+            "metrics": obs_metrics.get_registry().snapshot(),
+            "tracing": get_tracer().info(),
         }
 
     # ------------------------------------------------------------ execution
@@ -441,12 +513,16 @@ class JobScheduler:
         loop = asyncio.get_running_loop()
         while True:
             _, _, job = await self._queue.get()
+            _QUEUE_DEPTH.set(self._queue.qsize())
             try:
                 if job.done:
                     continue  # cancelled while queued
                 if job.cancel_requested.is_set():
                     self._transition(job, CANCELLED)
                     continue
+                _QUEUE_WAIT.observe(
+                    time.monotonic() - job.submitted_monotonic
+                )
                 self._transition(job, RUNNING)
                 try:
                     result = await loop.run_in_executor(None, self._execute, job)
@@ -473,23 +549,29 @@ class JobScheduler:
         def progress(event: Dict[str, object]) -> None:
             loop.call_soon_threadsafe(job.append_event, event)
 
-        if job.request.kind == "stream":
-            # Streams never touch the exploration runtime: replay sessions
-            # synthesize their own record, push sessions drain the job's
-            # chunk queue until the client finalises (or goes idle).
-            chunks = (
-                self._push_chunks(job) if job.request.source == "push" else None
-            )
-            return execute_stream(
-                job.request,
-                chunks=chunks,
+        with obs_span("service.job", job=job.id, kind=job.request.kind):
+            if job.request.kind == "stream":
+                # Streams never touch the exploration runtime: replay
+                # sessions synthesize their own record, push sessions drain
+                # the job's chunk queue until the client finalises (or goes
+                # idle).
+                chunks = (
+                    self._push_chunks(job)
+                    if job.request.source == "push"
+                    else None
+                )
+                return execute_stream(
+                    job.request,
+                    chunks=chunks,
+                    progress=progress,
+                    cancelled=job.cancel_requested.is_set,
+                )
+            runtime = self.provider.runtime_for(job.request)
+            return job.request.execute(
+                runtime,
                 progress=progress,
                 cancelled=job.cancel_requested.is_set,
             )
-        runtime = self.provider.runtime_for(job.request)
-        return job.request.execute(
-            runtime, progress=progress, cancelled=job.cancel_requested.is_set
-        )
 
     @staticmethod
     def _push_chunks(job: Job) -> Iterator[np.ndarray]:
@@ -518,10 +600,22 @@ class JobScheduler:
 
     def _transition(self, job: Job, state: str) -> None:
         """Advance a job's state and wake waiters (loop thread only)."""
+        previous = job.state
+        if previous != state:
+            self._bump_state(previous, -1)
+            self._bump_state(state, +1)
         job.state = state
         now = time.time()
+        now_monotonic = time.monotonic()
         if state == RUNNING:
             job.started_at = now
+            job.started_monotonic = now_monotonic
         elif state in (SUCCEEDED, FAILED, CANCELLED):
             job.finished_at = now
+            job.finished_monotonic = now_monotonic
+            _JOBS_FINISHED.labels(state).inc()
+            if job.started_monotonic is not None:
+                _RUN_SECONDS.labels(job.request.kind).observe(
+                    now_monotonic - job.started_monotonic
+                )
         job.append_event({"type": "state", "state": state})

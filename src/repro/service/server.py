@@ -23,7 +23,12 @@ API:
                       stage-graph hit rates with reuse classes (cross-record
                       and warm hits of the input-addressed node store, plus
                       stale entries purged on a key-schema change), the
-                      compiled-LUT registry footprint, per-workload telemetry
+                      compiled-LUT registry footprint, per-workload telemetry,
+                      and a full metrics-registry snapshot (JSON)
+``GET /metrics``      the metrics registry in Prometheus text exposition
+                      format (the one non-JSON endpoint besides SSE)
+``GET /trace``        recent spans from the in-memory trace ring
+                      (``?limit=N``, default 200) plus tracer state
 ====================  ======================================================
 
 Errors are JSON too: 400 for malformed payloads (:exc:`BadRequest`), 404 for
@@ -45,6 +50,9 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.fingerprint import library_version
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
+from ..obs.tracing import configure_tracing, get_tracer
 from .jobs import BadRequest, ServiceBusy
 from .scheduler import JobScheduler, RuntimeProvider
 
@@ -71,6 +79,25 @@ _JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)$")
 _EVENTS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/events$")
 _CHUNKS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/chunks$")
 
+_HTTP_REQUESTS = obs_metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by normalized route, method and status.",
+    labelnames=("route", "method", "status"),
+)
+
+
+def _route_label(path: str) -> str:
+    """Normalize a request path to a bounded route label."""
+    if path in ("/jobs", "/healthz", "/stats", "/metrics", "/trace"):
+        return path
+    if _JOB_PATH.match(path):
+        return "/jobs/{id}"
+    if _EVENTS_PATH.match(path):
+        return "/jobs/{id}/events"
+    if _CHUNKS_PATH.match(path):
+        return "/jobs/{id}/chunks"
+    return "other"
+
 
 class _HttpError(Exception):
     """Internal: carries an HTTP status + message to the response writer."""
@@ -88,10 +115,14 @@ class ServiceServer:
         scheduler: JobScheduler,
         host: str = "127.0.0.1",
         port: int = 0,
+        tracing: bool = True,
     ) -> None:
         self.scheduler = scheduler
         self.host = host
         self.port = port
+        #: Enable in-memory ring tracing on start so ``/trace`` has spans to
+        #: serve.  The tracer is process-global and stays enabled on stop.
+        self.tracing = tracing
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------ lifecycle
@@ -101,6 +132,8 @@ class ServiceServer:
         Port 0 picks a free ephemeral port (the bound port is recorded on
         :attr:`port`).
         """
+        if self.tracing and not get_tracer().enabled:
+            configure_tracing(enabled=True)
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -134,15 +167,26 @@ class ServiceServer:
             except _HttpError as error:
                 status, payload = error.status, {"error": str(error)}
             else:
+                if path == "/metrics" and method == "GET":
+                    # Raw Prometheus text, not JSON: served before _dispatch
+                    # the same way SSE is.
+                    await self._serve_metrics(writer)
+                    return
                 sse_match = _EVENTS_PATH.match(path)
                 if (
                     sse_match
                     and method == "GET"
                     and "text/event-stream" in headers.get("accept", "")
                 ):
+                    _HTTP_REQUESTS.labels(
+                        "/jobs/{id}/events", method, "200"
+                    ).inc()
                     await self._serve_sse(writer, sse_match.group(1), query)
                     return
                 status, payload = await self._dispatch(method, path, query, body)
+                _HTTP_REQUESTS.labels(
+                    _route_label(path), method, str(status)
+                ).inc()
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
@@ -152,6 +196,25 @@ class ServiceServer:
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + data)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+
+    async def _serve_metrics(self, writer: asyncio.StreamWriter) -> None:
+        """``GET /metrics`` — Prometheus text exposition of the registry."""
+        data = obs_metrics.get_registry().render_prometheus().encode("utf-8")
+        _HTTP_REQUESTS.labels("/metrics", "GET", "200").inc()
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {PROMETHEUS_CONTENT_TYPE}\r\n"
             f"Content-Length: {len(data)}\r\n"
             "Connection: close\r\n"
             "\r\n"
@@ -291,6 +354,18 @@ class ServiceServer:
             if path == "/stats":
                 self._require_method(method, "GET")
                 return 200, scheduler.stats()
+            if path == "/metrics":
+                # GET /metrics is intercepted upstream and answered as raw
+                # Prometheus text; only wrong methods reach this route.
+                self._require_method(method, "GET")
+            if path == "/trace":
+                self._require_method(method, "GET")
+                tracer = get_tracer()
+                limit = self._int_param(query, "limit", 200)
+                return 200, {
+                    "spans": tracer.spans(limit=limit),
+                    "tracer": tracer.info(),
+                }
             if path == "/jobs":
                 if method == "POST":
                     job, coalesced, cached = await scheduler.submit(body)

@@ -26,9 +26,26 @@ from ..core.configurations import DesignPoint
 from ..dsp.pan_tompkins import PanTompkinsResult
 from ..dsp.stages import total_group_delay_samples
 from ..metrics.peaks import match_peaks
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span as obs_span
 from .pipeline import StreamingPipeline, StreamingUpdate
 
 __all__ = ["ChunkReport", "StreamSession"]
+
+_CHUNK_SECONDS = obs_metrics.histogram(
+    "repro_stream_chunk_seconds",
+    "Wall-clock processing latency per streamed chunk.",
+)
+_RESCANS = obs_metrics.counter(
+    "repro_stream_rescans_total",
+    "Streamed chunks that retracted previously reported beats.",
+)
+#: Real-time headroom of the most recent chunk: signal seconds contained in
+#: the chunk divided by seconds spent processing it (>1 keeps up).
+_HEADROOM = obs_metrics.gauge(
+    "repro_stream_realtime_headroom",
+    "Signal-time / processing-time ratio of the most recent chunk.",
+)
 
 
 @dataclass
@@ -107,8 +124,17 @@ class StreamSession:
     def push(self, chunk: np.ndarray) -> ChunkReport:
         """Process one chunk and produce its telemetry report."""
         started = time.perf_counter()
-        update = self.pipeline.push(chunk)
-        processing_ms = (time.perf_counter() - started) * 1e3
+        with obs_span("stream.chunk", chunk=self.chunk_count) as chunk_span:
+            update = self.pipeline.push(chunk)
+            chunk_span.set_attribute("samples", update.chunk_samples)
+        processing_s = time.perf_counter() - started
+        processing_ms = processing_s * 1e3
+        _CHUNK_SECONDS.observe(processing_s)
+        if update.beats_removed:
+            _RESCANS.inc()
+        if processing_s > 0:
+            signal_s = update.chunk_samples / float(self.sample_rate_hz)
+            _HEADROOM.set(signal_s / processing_s)
         self._apply_beat_delta(update)
         report = ChunkReport(
             chunk_index=self.chunk_count,
